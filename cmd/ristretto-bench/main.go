@@ -1,0 +1,55 @@
+// Command ristretto-bench regenerates every table and figure of the paper's
+// evaluation on the synthetic substrate and prints them as text tables
+// (optionally writing CSVs).
+//
+// Usage:
+//
+//	ristretto-bench [-seed N] [-scale N] [-only "Figure 12"] [-csv dir]
+//
+// -scale divides layer spatial dimensions (4 ≈ 16× faster, same ratios).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ristretto/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "workload generation seed")
+	scale := flag.Int("scale", 1, "spatial scale-down factor (1 = paper scale)")
+	only := flag.String("only", "", "run only the experiment whose ID contains this substring")
+	csvDir := flag.String("csv", "", "also write one CSV per experiment into this directory")
+	flag.Parse()
+
+	b := experiments.NewQuickBench(*seed, *scale)
+	for _, r := range b.All() {
+		if *only != "" && !strings.Contains(strings.ToLower(r.ID), strings.ToLower(*only)) {
+			continue
+		}
+		fmt.Println(r.String())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, r); err != nil {
+				fmt.Fprintln(os.Stderr, "ristretto-bench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeCSV(dir string, r *experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := strings.ToLower(strings.ReplaceAll(r.ID, " ", "_")) + ".csv"
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return r.WriteCSV(f)
+}

@@ -1,0 +1,53 @@
+// Command ristretto-dse explores the Ristretto design space — compute-tile
+// count × multipliers per tile × atom granularity — for one network and
+// precision, printing cycles, area, energy and the Pareto frontier.
+//
+// Usage:
+//
+//	ristretto-dse -net ResNet-18 -precision 4b [-scale 4] [-seed 1]
+//	              [-tiles 8,16,32,64] [-mults 8,16,32] [-grans 1,2,3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ristretto/internal/experiments"
+)
+
+func main() {
+	net := flag.String("net", "ResNet-18", "network name")
+	precision := flag.String("precision", "4b", "8b, 4b, 2b or mix2/4")
+	seed := flag.Int64("seed", 1, "workload seed")
+	scale := flag.Int("scale", 1, "spatial scale-down factor")
+	tiles := flag.String("tiles", "8,16,32,64", "comma-separated tile counts")
+	mults := flag.String("mults", "8,16,32", "comma-separated multipliers per tile")
+	grans := flag.String("grans", "1,2,3", "comma-separated atom granularities")
+	flag.Parse()
+
+	b := experiments.NewQuickBench(*seed, *scale)
+	b.Nets = []string{*net}
+	r, err := b.DSETable(*net, *precision, ints(*tiles), ints(*mults), ints(*grans))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ristretto-dse:", err)
+		os.Exit(1)
+	}
+	fmt.Println(r.String())
+	fmt.Println("* = Pareto-optimal on (cycles, area, energy)")
+}
+
+func ints(csv string) []int {
+	var out []int
+	for _, s := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ristretto-dse: bad integer %q\n", s)
+			os.Exit(1)
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+// Command ristretto-model generates, exports and inspects the synthetic
+// quantized operands that stand in for model checkpoints (see DESIGN.md §1).
+//
+// Usage:
+//
+//	ristretto-model -gen -net ResNet-18 -layer conv3_2 -precision 4b -out dir   # export .rstt tensors
+//	ristretto-model -inspect dir/conv3_2.acts.rstt                              # print stats
+//
+// Exported tensors round-trip bit-identically (CRC-checked) and can seed
+// external tools or future sessions with the exact benchmark workloads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ristretto/internal/model"
+	"ristretto/internal/modelio"
+	"ristretto/internal/quant"
+	"ristretto/internal/workload"
+)
+
+func main() {
+	gen := flag.Bool("gen", false, "generate and export a layer's operands")
+	inspect := flag.String("inspect", "", "print statistics of a saved tensor file")
+	net := flag.String("net", "ResNet-18", "network name")
+	layer := flag.String("layer", "conv3_2", "layer name")
+	precision := flag.String("precision", "4b", "8b, 4b or 2b")
+	seed := flag.Int64("seed", 1, "workload seed")
+	out := flag.String("out", ".", "output directory")
+	flag.Parse()
+
+	switch {
+	case *inspect != "":
+		doInspect(*inspect)
+	case *gen:
+		doGen(*net, *layer, *precision, *seed, *out)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func doGen(netName, layerName, precision string, seed int64, out string) {
+	n, err := model.ByName(netName)
+	if err != nil {
+		fatal(err)
+	}
+	l, err := n.Layer(layerName)
+	if err != nil {
+		fatal(err)
+	}
+	bits := map[string]int{"8b": 8, "4b": 4, "2b": 2}[precision]
+	if bits == 0 {
+		fatal(fmt.Errorf("bad precision %q", precision))
+	}
+	g := workload.NewGen(seed)
+	f, k := g.LayerOperands(l, bits, bits, workload.EvalTargets(netName, bits, bits))
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		fatal(err)
+	}
+	base := strings.ReplaceAll(layerName, "/", "_")
+	fp := filepath.Join(out, base+".acts.rstt")
+	kp := filepath.Join(out, base+".weights.rstt")
+	if err := modelio.SaveFeatureMap(fp, f); err != nil {
+		fatal(err)
+	}
+	if err := modelio.SaveKernelStack(kp, k); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%v)\n", fp, f)
+	fmt.Printf("wrote %s (%v)\n", kp, k)
+}
+
+func doInspect(path string) {
+	if f, err := modelio.LoadFeatureMap(path); err == nil {
+		s := quant.Measure(f.Data, f.Bits, 2)
+		fmt.Printf("%s: %v\n", path, f)
+		fmt.Printf("  value density %.3f, atom density %.3f, stream %d atoms (dense %d)\n",
+			s.ValueDensity, s.AtomDensity, s.NonZeroAtoms, s.DenseAtoms)
+		return
+	}
+	if k, err := modelio.LoadKernelStack(path); err == nil {
+		s := quant.Measure(k.Data, k.Bits, 2)
+		fmt.Printf("%s: %v\n", path, k)
+		fmt.Printf("  value density %.3f, atom density %.3f, stream %d atoms (dense %d)\n",
+			s.ValueDensity, s.AtomDensity, s.NonZeroAtoms, s.DenseAtoms)
+		return
+	}
+	fatal(fmt.Errorf("%s is neither a feature map nor a kernel stack", path))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ristretto-model:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// Command ristretto-sim estimates one network's inference on a chosen
+// accelerator: cycles, per-layer utilization and the energy breakdown.
+//
+// Usage:
+//
+//	ristretto-sim -net ResNet-18 -precision 4b -accel ristretto
+//	              [-tiles 32] [-mults 32] [-gran 2] [-balance wa|w|none]
+//	              [-seed 1] [-scale 1] [-layers]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ristretto/internal/atom"
+	"ristretto/internal/balance"
+	"ristretto/internal/baselines/bitfusion"
+	"ristretto/internal/baselines/laconic"
+	"ristretto/internal/baselines/scnn"
+	"ristretto/internal/baselines/snap"
+	"ristretto/internal/baselines/sparten"
+	"ristretto/internal/energy"
+	"ristretto/internal/experiments"
+	"ristretto/internal/model"
+	"ristretto/internal/ristretto"
+)
+
+func main() {
+	net := flag.String("net", "ResNet-18", "network: AlexNet, VGG-16, GoogLeNet, Inception-V2, ResNet-18, ResNet-50")
+	precision := flag.String("precision", "8b", "8b, 4b, 2b or mix2/4")
+	accel := flag.String("accel", "ristretto", "ristretto, ristretto-ns, bitfusion, laconic, laconic-mod, sparten, sparten-mp, scnn, snap")
+	tiles := flag.Int("tiles", 32, "Ristretto compute tiles")
+	mults := flag.Int("mults", 32, "atom multipliers per tile")
+	gran := flag.Int("gran", 2, "atom granularity in bits (1-3)")
+	bal := flag.String("balance", "wa", "load balancing: wa, w, none")
+	seed := flag.Int64("seed", 1, "workload seed")
+	scale := flag.Int("scale", 1, "spatial scale-down factor")
+	perLayer := flag.Bool("layers", false, "print per-layer detail (ristretto only)")
+	flag.Parse()
+
+	if _, err := model.ByName(*net); err != nil {
+		fatal(err)
+	}
+	b := experiments.NewQuickBench(*seed, *scale)
+	b.Nets = []string{*net}
+	n := b.Networks()[0]
+	stats := b.Stats(n, *precision, atom.Granularity(*gran))
+
+	var policy balance.Policy
+	switch *bal {
+	case "wa":
+		policy = balance.WeightAct
+	case "w":
+		policy = balance.WeightOnly
+	case "none":
+		policy = balance.None
+	default:
+		fatal(fmt.Errorf("unknown balance policy %q", *bal))
+	}
+
+	m := energy.Default()
+	var cycles int64
+	var cnt energy.Counters
+	switch *accel {
+	case "ristretto", "ristretto-ns":
+		cfg := ristretto.Config{
+			Tiles:  *tiles,
+			Tile:   ristretto.TileConfig{Mults: *mults, Gran: atom.Granularity(*gran)},
+			Policy: policy,
+			Dense:  *accel == "ristretto-ns",
+		}
+		perf := ristretto.EstimateNetwork(stats, cfg)
+		cycles, cnt = perf.Cycles, perf.Counters
+		m = energy.ModelForGranularity(*gran)
+		if *perLayer {
+			fmt.Printf("%-16s %12s %12s %6s\n", "layer", "cycles", "ideal", "util")
+			for i, lp := range perf.Layers {
+				fmt.Printf("%-16s %12d %12d %5.1f%%\n", stats[i].Layer.Name, lp.Cycles, lp.IdealCycles, 100*lp.Utilization)
+			}
+		}
+	case "bitfusion":
+		cycles, cnt = bitfusion.EstimateNetwork(stats, bitfusion.DefaultConfig())
+	case "laconic":
+		cycles, cnt = laconic.EstimateNetwork(stats, laconic.DefaultConfig())
+	case "sparten":
+		cycles, cnt = sparten.EstimateNetwork(stats, sparten.DefaultConfig())
+	case "sparten-mp":
+		cycles, cnt = sparten.EstimateNetwork(stats, sparten.Config{CUs: 32, MP: true})
+	case "laconic-mod":
+		cycles, cnt = laconic.EstimateNetworkModified(stats, laconic.DefaultConfig())
+	case "scnn":
+		cycles, cnt = scnn.EstimateNetwork(stats, scnn.DefaultConfig())
+	case "snap":
+		cycles, cnt = snap.EstimateNetwork(stats, snap.DefaultConfig())
+	default:
+		fatal(fmt.Errorf("unknown accelerator %q", *accel))
+	}
+
+	split := m.Split(cnt)
+	fmt.Printf("network      : %s (%s, %d conv layers, %.2f GMACs)\n", n.Name, *precision, len(n.Layers), float64(n.MACs())/1e9)
+	fmt.Printf("accelerator  : %s\n", *accel)
+	fmt.Printf("cycles       : %d (%.3f ms @ 500 MHz)\n", cycles, float64(cycles)/500e3)
+	fmt.Printf("energy       : %.3f mJ (compute %.3f, on-chip %.3f, DRAM %.3f)\n",
+		split.Total()/1e9, split.ComputePJ/1e9, split.OnChipPJ/1e9, split.OffChipPJ/1e9)
+	fmt.Printf("DRAM traffic : %.2f MB\n", float64(cnt.DRAMBytes)/(1<<20))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ristretto-sim:", err)
+	os.Exit(1)
+}

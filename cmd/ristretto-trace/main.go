@@ -1,0 +1,93 @@
+// Command ristretto-trace runs a layer on the lockstep whole-core simulator
+// and writes a JSONL execution trace (job/chunk/drain transitions per
+// compute tile) for offline analysis or visualization.
+//
+// Usage:
+//
+//	ristretto-trace -acts zoo/conv.acts.rstt -weights zoo/conv.weights.rstt -out trace.jsonl
+//	ristretto-trace -synth -out trace.jsonl        # small synthetic layer
+//
+// Each line is a TraceEvent: {"cycle":..,"tile":..,"event":"chunk_start",...}.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ristretto/internal/atom"
+	"ristretto/internal/balance"
+	"ristretto/internal/modelio"
+	"ristretto/internal/ristretto"
+	"ristretto/internal/tensor"
+	"ristretto/internal/workload"
+)
+
+func main() {
+	actsPath := flag.String("acts", "", "feature-map .rstt file (from ristretto-model)")
+	weightsPath := flag.String("weights", "", "kernel-stack .rstt file")
+	synth := flag.Bool("synth", false, "use a small synthetic layer instead of files")
+	out := flag.String("out", "trace.jsonl", "JSONL trace output path")
+	tiles := flag.Int("tiles", 4, "compute tiles")
+	mults := flag.Int("mults", 16, "multipliers per tile")
+	gran := flag.Int("gran", 2, "atom granularity")
+	stride := flag.Int("stride", 1, "convolution stride")
+	pad := flag.Int("pad", 1, "convolution padding")
+	seed := flag.Int64("seed", 1, "synthetic workload seed")
+	flag.Parse()
+
+	var f *tensor.FeatureMap
+	var w *tensor.KernelStack
+	var err error
+	switch {
+	case *synth:
+		g := workload.NewGen(*seed)
+		f = g.FeatureMap(4, 12, 12, 8, 0.5)
+		w = g.Kernels(8, 4, 3, 3, 4, 0.5)
+	case *actsPath != "" && *weightsPath != "":
+		if f, err = modelio.LoadFeatureMap(*actsPath); err != nil {
+			fatal(err)
+		}
+		if w, err = modelio.LoadKernelStack(*weightsPath); err != nil {
+			fatal(err)
+		}
+		if f.C != w.C {
+			fatal(fmt.Errorf("channel mismatch: acts %d vs weights %d", f.C, w.C))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fh, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	tracer := &ristretto.JSONTracer{W: fh}
+	cfg := ristretto.CoreSimConfig{
+		Tiles:  *tiles,
+		Tile:   ristretto.TileConfig{Mults: *mults, Gran: atom.Granularity(*gran)},
+		Policy: balance.WeightAct,
+		Trace:  tracer,
+	}
+	res := ristretto.SimulateCore(f, w, *stride, *pad, cfg)
+	if err := fh.Close(); err != nil {
+		fatal(err)
+	}
+	if tracer.Err() != nil {
+		fatal(tracer.Err())
+	}
+	fmt.Printf("input   : %v\n", f)
+	fmt.Printf("kernels : %v\n", w)
+	fmt.Printf("cycles  : %d (stalls %d, drain-wait %d, weight-load %d)\n",
+		res.Cycles, res.Stalls, res.DrainWait, res.LoadCycles)
+	for i, b := range res.TileBusy {
+		fmt.Printf("  tile %d busy %5.1f%%\n", i, 100*float64(b)/float64(res.Cycles))
+	}
+	fmt.Printf("trace   : %s (%d events)\n", *out, tracer.Events())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ristretto-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Atom-granularity design-space ablation — the Figure 19 scenario: compare
+// 1/2/3-bit atom designs at matched BitOps/cycle on the cycle-accurate tile
+// simulator, including the shift-range cost that makes 1-bit atoms
+// area-hungry.
+//
+//	go run ./examples/atomgranularity
+package main
+
+import (
+	"fmt"
+
+	"ristretto/internal/atom"
+	"ristretto/internal/energy"
+	"ristretto/internal/refconv"
+	"ristretto/internal/ristretto"
+	"ristretto/internal/workload"
+)
+
+func main() {
+	// Matched BitOps/cycle per tile: 64×1b ≈ 16×2b ≈ 7×3b.
+	mults := map[int]int{1: 64, 2: 16, 3: 7}
+
+	fmt.Println("Shift ranges a coupled product would need (why shifts are decoupled):")
+	for _, gran := range []int{1, 2, 3} {
+		fmt.Printf("  %d-bit atoms, 8b x 8b: %v\n", gran, atom.ProductShiftRange(8, 8, atom.Granularity(gran)))
+	}
+
+	fmt.Println("\nCycle-accurate single-tile runs (8-bit sparse operands, same tensor):")
+	fmt.Printf("%5s %6s %10s %12s %12s %14s\n", "gran", "mults", "cycles", "atom mults", "rel area", "perf/area")
+	var baseCycles float64
+	for _, gran := range []int{1, 2, 3} {
+		g := workload.NewGen(3) // same seed: same underlying values
+		f := g.FeatureMapExact(8, 16, 16, 8, 2, 0.5, 0.7)
+		w := g.KernelsExact(16, 8, 3, 3, 8, 2, 0.5, 0.7)
+		cfg := ristretto.Config{Tiles: 1, Tile: ristretto.TileConfig{Mults: mults[gran], Gran: atom.Granularity(gran)}}
+		sim := ristretto.SimulateConv(f, w, 1, 1, cfg)
+		if !sim.Output.Equal(refconv.Conv(f, w, 1, 1)) {
+			panic("granularity variant produced wrong results")
+		}
+		ab := energy.RistrettoArea(32, mults[gran], gran)
+		area := ab.Atomizer + ab.Atomputer + ab.Atomulator + ab.AccBuffer
+		if gran == 1 {
+			baseCycles = float64(sim.Cycles)
+		}
+		_ = baseCycles
+		fmt.Printf("%4db %6d %10d %12d %12.2f %14.4f\n",
+			gran, mults[gran], sim.Cycles, sim.Products, area/0.348, 1e3/(float64(sim.Cycles)*area))
+	}
+	fmt.Println("\n2-bit atoms balance bit-sparsity exploitation against shifter/accumulator area (paper Figure 19).")
+}

@@ -1,0 +1,44 @@
+// Load-balancing study on conv3_2 of 4-bit ResNet-18 — the Figure 18
+// scenario: 128 input feature maps and their kernels distributed over 32
+// compute tiles under the three policies, visualized as per-tile workloads.
+//
+//	go run ./examples/loadbalance
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"ristretto/internal/atom"
+	"ristretto/internal/balance"
+	"ristretto/internal/experiments"
+)
+
+func main() {
+	b := experiments.NewQuickBench(1, 1)
+	b.Nets = []string{"ResNet-18"}
+	n := b.Networks()[0]
+	stats := b.Stats(n, "4b", atom.Granularity(2))
+	for _, s := range stats {
+		if s.Layer.Name != "conv3_2" {
+			continue
+		}
+		fmt.Printf("layer %s: %d input channels -> 32 compute tiles (Eq. 5 costs)\n\n", s.Layer.Name, s.Layer.C)
+		costs := make([]int64, s.Layer.C)
+		for c := range costs {
+			costs[c] = balance.Cost(s.ActAtomsPerChan[c], s.WAtomsPerChan[c], 32)
+		}
+		for _, p := range []balance.Policy{balance.None, balance.WeightOnly, balance.WeightAct} {
+			gc := balance.GroupCosts(balance.Assign(p, costs, s.WAtomsPerChan, 32), costs)
+			max, min, mean := balance.Spread(gc)
+			fmt.Printf("%s (max %d, min %d, mean %.0f, imbalance %.2fx):\n", p, max, min, mean, float64(max)/mean)
+			for tile, c := range gc {
+				bars := int(float64(c) / float64(max) * 50)
+				fmt.Printf("  tile %2d %8d |%s\n", tile, c, strings.Repeat("#", bars))
+			}
+			fmt.Println()
+		}
+		return
+	}
+	panic("conv3_2 not found")
+}

@@ -1,0 +1,84 @@
+// End-to-end inference pipeline: a small three-layer CNN runs entirely
+// through condensed streaming computation, with the post-processing unit
+// (ReLU, requantization, compression, atom statistics) closing the loop
+// between layers — the full on-chip cycle of the paper's Figure 7.
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ristretto/internal/core"
+	"ristretto/internal/quant"
+	"ristretto/internal/refconv"
+	"ristretto/internal/ristretto"
+	"ristretto/internal/workload"
+)
+
+func main() {
+	g := workload.NewGen(11)
+	input := g.FeatureMap(3, 32, 32, 8, 0.6) // RGB-like 32×32 input
+
+	layers := []ristretto.PipelineLayer{
+		{ // conv1: 3→16, 3×3, mixed 4-bit weights
+			Kernels: g.Kernels(16, 3, 3, 3, 4, 0.5),
+			Stride:  1, Pad: 1,
+			Post: ristretto.PostProcessor{OutBits: 8, Gran: 2, ShiftRight: 5},
+		},
+		{ // conv2: 16→32, 3×3 stride 2, 8-bit weights
+			Kernels: g.Kernels(32, 16, 3, 3, 8, 0.45),
+			Stride:  2, Pad: 1,
+			Post: ristretto.PostProcessor{OutBits: 4, Gran: 2, ShiftRight: 10},
+		},
+		{ // conv3: 32→10, 1×1, 2-bit weights
+			Kernels: g.Kernels(10, 32, 1, 1, 2, 0.5),
+			Stride:  1, Pad: 0,
+			Post: ristretto.PostProcessor{OutBits: 8, Gran: 2, ShiftRight: 2},
+		},
+	}
+
+	res := ristretto.RunPipeline(input, layers, core.Config{Gran: 2, Multiplier: 32})
+
+	// Reference chain for verification.
+	cur := input
+	for _, l := range layers {
+		out := refconv.Conv(cur, l.Kernels, l.Stride, l.Pad)
+		fm, _ := l.Post.Run(out)
+		cur = fm
+	}
+	for i := range cur.Data {
+		if cur.Data[i] != res.Output.Data[i] {
+			log.Fatal("pipeline diverged from the dense reference chain")
+		}
+	}
+
+	fmt.Println("3-layer CSC pipeline, bit-exact against the dense reference chain")
+	fmt.Printf("input : %v\n", input)
+	fmt.Printf("output: %v\n\n", res.Output)
+	fmt.Printf("%-6s %10s %12s %12s %14s %12s\n", "layer", "steps", "act atoms", "w atoms", "atom products", "out density")
+	cur = input
+	for i, l := range layers {
+		st := res.Stats[i]
+		out := refconv.Conv(cur, l.Kernels, l.Stride, l.Pad)
+		fm, _ := l.Post.Run(out)
+		d := quant.Measure(fm.Data, fm.Bits, 2)
+		fmt.Printf("conv%-2d %10d %12d %12d %14d %11.1f%%\n", i+1, st.Steps, st.ActAtoms, st.WeightAtoms, st.Products, 100*d.ValueDensity)
+		cur = fm
+	}
+	fmt.Println("\nThe post-processing unit's per-channel atom counts feed the next layer's")
+	fmt.Println("w/a load balancer — the statistics SparTen cannot obtain before execution:")
+	for li, counts := range res.AtomStats {
+		min, max := counts[0], counts[0]
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		fmt.Printf("  after conv%d: %d output channels, atoms/channel min %d max %d\n", li+1, len(counts), min, max)
+	}
+}

@@ -1,0 +1,3 @@
+module ristretto
+
+go 1.22

@@ -1,0 +1,41 @@
+package atom_test
+
+import (
+	"fmt"
+
+	"ristretto/internal/atom"
+)
+
+// The paper's Section III-A example: 29 = 01_11_01 decomposes into the term
+// set {1·2⁰, 3·2², 1·2⁴} under 2-bit atoms.
+func ExampleDecompose() {
+	for _, a := range atom.Decompose(29, 8, 2) {
+		fmt.Println(a)
+	}
+	// Output:
+	// +1<<0
+	// +3<<2
+	// +1<<4,last
+}
+
+// Booth-style effectual terms: 255 needs only two signed power-of-two terms
+// (256−1), which is why bit-serial designs like Laconic booth-encode.
+func ExampleNAFTerms() {
+	fmt.Println("terms(255) =", atom.TermCount(255))
+	fmt.Println("popcount(255) =", atom.OneCount(255))
+	// Output:
+	// terms(255) = 2
+	// popcount(255) = 8
+}
+
+// Table IV: activation shift ranges under 2-bit atoms.
+func ExampleGranularity_ShiftRange() {
+	for _, bits := range []int{8, 6, 4, 2} {
+		fmt.Printf("%db: %v\n", bits, atom.Granularity(2).ShiftRange(bits))
+	}
+	// Output:
+	// 8b: [0 2 4 6]
+	// 6b: [0 2 4]
+	// 4b: [0 2]
+	// 2b: [0]
+}

@@ -1,0 +1,27 @@
+package balance_test
+
+import (
+	"fmt"
+
+	"ristretto/internal/balance"
+)
+
+// Section IV-E: channels with known Eq. 5 costs are grouped onto tiles by
+// repeatedly pairing the largest with the smallest.
+func ExampleAssign() {
+	costs := []int64{100, 10, 90, 20, 80, 30, 70, 40}
+	watoms := []int{1, 1, 1, 1, 1, 1, 1, 1}
+	groups := balance.Assign(balance.WeightAct, costs, watoms, 4)
+	gc := balance.GroupCosts(groups, costs)
+	max, min, mean := balance.Spread(gc)
+	fmt.Printf("max %d min %d mean %.0f\n", max, min, mean)
+	// Output:
+	// max 110 min 110 mean 110
+}
+
+// Eq. 5: the cost of one channel's stream pair on N multipliers.
+func ExampleCost() {
+	fmt.Println(balance.Cost(1000, 96, 32)) // 3 rounds of the static stream
+	// Output:
+	// 3000
+}

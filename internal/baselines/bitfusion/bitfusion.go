@@ -1,0 +1,95 @@
+// Package bitfusion models Bit Fusion (Sharma et al., ISCA 2018), the
+// precision-scalable dense baseline (Sections II-B, V-B): an 8×8
+// weight-stationary systolic array of fusion units, each spatially composing
+// 16 two-bit multipliers into one 8-bit, four 4-bit or sixteen 2-bit
+// multiplications per cycle. The dataflow is dense — zero weights and
+// activations are computed and moved like any other value.
+package bitfusion
+
+import (
+	"ristretto/internal/energy"
+	"ristretto/internal/workload"
+)
+
+// Config parameterizes a Bit Fusion array.
+type Config struct {
+	Rows, Cols int // systolic array of fusion units (paper comparison: 8×8)
+}
+
+// DefaultConfig matches Section V-B: an 8×8 array (1024 two-bit multipliers).
+func DefaultConfig() Config { return Config{Rows: 8, Cols: 8} }
+
+// Units returns the fusion-unit count.
+func (c Config) Units() int { return c.Rows * c.Cols }
+
+// SubProducts returns how many 2-bit sub-products one (wbits × abits)
+// multiplication decomposes into inside a fusion unit.
+func SubProducts(wbits, abits int) int64 {
+	return int64((wbits+1)/2) * int64((abits+1)/2)
+}
+
+// MACsPerCycle returns the whole array's multiplication throughput at the
+// given precision.
+func MACsPerCycle(cfg Config, wbits, abits int) float64 {
+	per := 16.0 / float64(SubProducts(wbits, abits))
+	if per < 1 {
+		per = 1
+	}
+	return per * float64(cfg.Units())
+}
+
+// LayerPerf is the analytic layer estimate.
+type LayerPerf struct {
+	Cycles      int64
+	Utilization float64
+	Counters    energy.Counters
+}
+
+// EstimateLayer estimates a dense layer: output channels map to array
+// columns and the C·kh·kw reduction streams through rows in a weight-
+// stationary schedule. Utilization losses come from partially filled
+// column groups (K mod Cols) and the systolic fill/drain of each pass.
+func EstimateLayer(st workload.LayerStats, cfg Config) LayerPerf {
+	l := st.Layer
+	macsPerCycle := MACsPerCycle(cfg, st.WBits, st.ABits)
+
+	// Column tiling over output channels.
+	colPasses := (l.K + cfg.Cols - 1) / cfg.Cols
+	colUtil := float64(l.K) / float64(colPasses*cfg.Cols)
+	ideal := float64(l.MACs()) / macsPerCycle
+	cycles := ideal / colUtil
+	// Systolic fill/drain: weight tiles along the reduction dimension are
+	// double-buffered, so the pixel-stream pipeline only fills once per
+	// column pass.
+	fills := int64(colPasses) * int64(cfg.Rows+cfg.Cols-2)
+	p := LayerPerf{Cycles: int64(cycles) + fills}
+	if p.Cycles > 0 {
+		p.Utilization = ideal / float64(p.Cycles)
+	}
+
+	// Energy: every MAC executes all of its 2-bit sub-products.
+	p.Counters.Fusion2b = l.MACs() * SubProducts(st.WBits, st.ABits)
+	// Dense buffer traffic: weights loaded once per pass set, activations
+	// re-read once per column pass (they feed different output channels).
+	aBytes := l.Activations() * int64(st.ABits) / 8
+	wBytes := l.Weights() * int64(st.WBits) / 8
+	outVals := int64(l.K) * int64(l.OutH()) * int64(l.OutW())
+	p.Counters.InputBufBytes = aBytes * int64(colPasses)
+	p.Counters.WeightBufBytes = wBytes
+	p.Counters.OutputBufBytes = outVals * 4
+	passes := energy.WeightPassAmplification(wBytes, 0)
+	p.Counters.DRAMBytes = aBytes*passes + wBytes + outVals*int64(st.ABits)/8
+	return p
+}
+
+// EstimateNetwork sums layer estimates.
+func EstimateNetwork(stats []workload.LayerStats, cfg Config) (int64, energy.Counters) {
+	var cycles int64
+	var cnt energy.Counters
+	for _, st := range stats {
+		p := EstimateLayer(st, cfg)
+		cycles += p.Cycles
+		cnt.Add(p.Counters)
+	}
+	return cycles, cnt
+}

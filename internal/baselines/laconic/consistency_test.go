@@ -1,0 +1,93 @@
+package laconic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ristretto/internal/atom"
+	"ristretto/internal/workload"
+)
+
+// The analytic layer model rests on expectedMax over the term-product
+// distribution. Validate it against Monte-Carlo sampling from the same
+// empirical distribution.
+func TestExpectedMaxMatchesMonteCarlo(t *testing.T) {
+	g := workload.NewGen(1)
+	a := g.SparseVector(20000, 8, 0.6, false)
+	w := g.SparseVector(20000, 8, 0.6, true)
+	dist := workDist(atom.TermHistogram(a, true), atom.TermHistogram(w, true))
+
+	// Sampler over the discrete distribution.
+	cdf := make([]float64, len(dist))
+	sum := 0.0
+	for i, p := range dist {
+		sum += p
+		cdf[i] = sum
+	}
+	rng := rand.New(rand.NewSource(2))
+	sample := func() int {
+		u := rng.Float64() * sum
+		for i, c := range cdf {
+			if u <= c {
+				return i
+			}
+		}
+		return len(cdf) - 1
+	}
+
+	for _, n := range []int{16, 128, 768} {
+		analytic := expectedMax(dist, n)
+		const trials = 3000
+		mc := 0.0
+		for tr := 0; tr < trials; tr++ {
+			m := 0
+			for i := 0; i < n; i++ {
+				if s := sample(); s > m {
+					m = s
+				}
+			}
+			mc += float64(m)
+		}
+		mc /= trials
+		if math.Abs(analytic-mc)/mc > 0.05 {
+			t.Fatalf("n=%d: analytic E[max]=%v vs Monte-Carlo %v", n, analytic, mc)
+		}
+	}
+}
+
+// The analytic layer estimate must agree with a direct lock-step simulation
+// over real tensors within a modest tolerance.
+func TestEstimateTracksLockStepSimulation(t *testing.T) {
+	g := workload.NewGen(3)
+	cfg := Config{PERows: 2, PECols: 4, Lanes: 16, Booth: true}
+	// Direct simulation: pair up two big dense-position streams in rounds.
+	a := g.SparseVector(64000, 8, 0.6, false)
+	w := g.SparseVector(64000, 8, 0.6, true)
+	perRound := cfg.PEs() * cfg.Lanes
+	var simCycles int64
+	for off := 0; off+perRound <= len(a); off += perRound {
+		m := 0
+		for i := 0; i < perRound; i++ {
+			if wl := PairWork(a[off+i], w[off+i], true); wl > m {
+				m = wl
+			}
+		}
+		if m < 1 {
+			m = 1
+		}
+		simCycles += int64(m)
+	}
+	rounds := int64(len(a) / perRound)
+
+	dist := workDist(atom.TermHistogram(a, true), atom.TermHistogram(w, true))
+	lat := expectedMax(dist, perRound)
+	if lat < 1 {
+		lat = 1
+	}
+	analytic := int64(float64(rounds) * lat)
+	ratio := float64(simCycles) / float64(analytic)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("lock-step sim %d vs analytic %d (ratio %.3f)", simCycles, analytic, ratio)
+	}
+}

@@ -1,0 +1,194 @@
+// Package laconic models Laconic (Sharify et al., ISCA 2019), the strongest
+// precision-scalable baseline (Sections II-B2b, V-C). Laconic is a 2-D
+// broadcast mesh of PEs; each PE holds 16 bit-serial multipliers computing
+// one 16-element inner product. Operands are booth-encoded at the array
+// boundary into effectual terms (±2^k); a multiplier serializes one
+// weight/activation pair over #termsₐ×#termsᵥ cycles. Because operands are
+// stored densely and PEs share data across rows/columns, a PE's latency is
+// the maximum over its 16 pairs and a tile's latency is the maximum over its
+// PEs — which is why Laconic is insensitive to value-level sparsity
+// (Figure 4).
+package laconic
+
+import (
+	"ristretto/internal/atom"
+	"ristretto/internal/energy"
+	"ristretto/internal/workload"
+)
+
+// Config parameterizes a Laconic tile array.
+type Config struct {
+	PERows, PECols int  // PE mesh (paper comparison: 6×8)
+	Lanes          int  // bit-serial multipliers per PE (16)
+	Booth          bool // booth/NAF term encoding (true) or plain bits
+}
+
+// DefaultConfig matches Section V-C: 6×8 PEs × 16 lanes.
+func DefaultConfig() Config { return Config{PERows: 6, PECols: 8, Lanes: 16, Booth: true} }
+
+// PEs returns the PE count.
+func (c Config) PEs() int { return c.PERows * c.PECols }
+
+func terms(v int32, booth bool) int {
+	if booth {
+		return atom.TermCount(v)
+	}
+	return atom.OneCount(v)
+}
+
+// PairWork returns the serial cycles one bit-serial multiplier spends on a
+// weight/activation pair.
+func PairWork(a, w int32, booth bool) int {
+	return terms(a, booth) * terms(w, booth)
+}
+
+// TileRun is the detailed small-scale model used for the Figure 4 study: the
+// tile processes `pes` inner products of length `lanes` in lock-step.
+type TileRun struct {
+	TheoreticalCycles float64 // total work / total multipliers (upper bound)
+	AvgPECycles       float64 // data sharing disabled: mean per-PE latency
+	TileCycles        int64   // lock-step: max over PEs per round
+}
+
+// SimulateTile generates pes random vector pairs (sparse, uniform values, as
+// in Figure 4) and measures the three latency notions of the paper's study.
+func SimulateTile(g *workload.Gen, cfg Config, bits int, density float64) TileRun {
+	var run TileRun
+	totalWork := 0
+	peLat := make([]int, cfg.PEs())
+	for pe := 0; pe < cfg.PEs(); pe++ {
+		a := g.SparseVector(cfg.Lanes, bits, density, false)
+		w := g.SparseVector(cfg.Lanes, bits, density, true)
+		maxPair := 0
+		for i := 0; i < cfg.Lanes; i++ {
+			wl := PairWork(a[i], w[i], cfg.Booth)
+			totalWork += wl
+			if wl > maxPair {
+				maxPair = wl
+			}
+		}
+		peLat[pe] = maxPair
+	}
+	tile := 0
+	sum := 0
+	for _, l := range peLat {
+		sum += l
+		if l > tile {
+			tile = l
+		}
+	}
+	run.TheoreticalCycles = float64(totalWork) / float64(cfg.PEs()*cfg.Lanes)
+	run.AvgPECycles = float64(sum) / float64(cfg.PEs())
+	run.TileCycles = int64(tile)
+	return run
+}
+
+// workDist builds the distribution of per-pair workloads ta×tw from the two
+// term histograms (index = #terms including zeros at 0).
+func workDist(aHist, wHist []int) []float64 {
+	var aTot, wTot float64
+	for _, c := range aHist {
+		aTot += float64(c)
+	}
+	for _, c := range wHist {
+		wTot += float64(c)
+	}
+	maxW := (len(aHist) - 1) * (len(wHist) - 1)
+	d := make([]float64, maxW+1)
+	for ta, ca := range aHist {
+		if ca == 0 {
+			continue
+		}
+		pa := float64(ca) / aTot
+		for tw, cw := range wHist {
+			if cw == 0 {
+				continue
+			}
+			d[ta*tw] += pa * float64(cw) / wTot
+		}
+	}
+	return d
+}
+
+// expectedMax returns E[max of n iid draws] from a small discrete
+// distribution: Σ_x P(max > x) = Σ_x (1 − F(x)ⁿ).
+func expectedMax(dist []float64, n int) float64 {
+	e := 0.0
+	cdf := 0.0
+	for x := 0; x < len(dist)-1; x++ {
+		cdf += dist[x]
+		p := 1.0
+		f := cdf
+		if f > 1 {
+			f = 1
+		}
+		// f^n
+		base := f
+		p = 1.0
+		for k := n; k > 0; k >>= 1 {
+			if k&1 == 1 {
+				p *= base
+			}
+			base *= base
+		}
+		e += 1 - p
+	}
+	return e
+}
+
+// LayerPerf is the analytic layer estimate.
+type LayerPerf struct {
+	Cycles   int64
+	Counters energy.Counters
+}
+
+// EstimateLayer estimates a layer's latency on the Laconic tile: the dense
+// MAC count is processed in rounds of PEs×Lanes pairs; each round's latency
+// is the expected maximum pair workload across all lanes of all PEs (the
+// lock-step data-sharing penalty), computed from the operands' term
+// distributions.
+func EstimateLayer(st workload.LayerStats, cfg Config) LayerPerf {
+	l := st.Layer
+	pairs := l.MACs() // dense: zero values still occupy lanes
+	perRound := int64(cfg.PEs() * cfg.Lanes)
+	rounds := (pairs + perRound - 1) / perRound
+
+	dist := workDist(st.ATermHist, st.WTermHist)
+	roundLat := expectedMax(dist, int(perRound))
+	if roundLat < 1 {
+		roundLat = 1
+	}
+	p := LayerPerf{Cycles: int64(float64(rounds) * roundLat)}
+
+	// Energy: term operations actually executed (zero terms skip cycles in
+	// a lane but the lane still waits — energy follows executed terms).
+	meanWork := 0.0
+	for x, pr := range dist {
+		meanWork += float64(x) * pr
+	}
+	p.Counters.TermOps = int64(meanWork * float64(pairs))
+	// Dense operand storage and movement (no compression in Laconic).
+	aBytes := l.Activations() * int64(st.ABits) / 8
+	wBytes := l.Weights() * int64(st.WBits) / 8
+	outVals := int64(l.K) * int64(l.OutH()) * int64(l.OutW())
+	// Broadcast reuse: activations re-read once per output-channel pass
+	// (K/PECols column groups), weights once per window-group pass.
+	p.Counters.InputBufBytes = aBytes * int64((l.K+cfg.PECols-1)/cfg.PECols)
+	p.Counters.WeightBufBytes = wBytes * int64((l.OutH()*l.OutW()+cfg.PERows-1)/(cfg.PERows))
+	p.Counters.OutputBufBytes = outVals * 4
+	passes := energy.WeightPassAmplification(wBytes, 0)
+	p.Counters.DRAMBytes = aBytes*passes + wBytes + outVals*int64(st.ABits)/8
+	return p
+}
+
+// EstimateNetwork sums layer estimates.
+func EstimateNetwork(stats []workload.LayerStats, cfg Config) (int64, energy.Counters) {
+	var cycles int64
+	var cnt energy.Counters
+	for _, st := range stats {
+		p := EstimateLayer(st, cfg)
+		cycles += p.Cycles
+		cnt.Add(p.Counters)
+	}
+	return cycles, cnt
+}

@@ -1,0 +1,124 @@
+package laconic
+
+import (
+	"testing"
+
+	"ristretto/internal/model"
+	"ristretto/internal/workload"
+)
+
+func TestPairWork(t *testing.T) {
+	// 3 = two terms (4-1), 5 = two terms (4+1): 2×2 = 4 cycles.
+	if got := PairWork(3, 5, true); got != 4 {
+		t.Fatalf("PairWork(3,5) = %d, want 4", got)
+	}
+	if PairWork(0, 127, true) != 0 {
+		t.Fatal("zero operand must cost zero terms")
+	}
+	// Plain binary encoding: 7 has 3 bits vs 2 NAF terms.
+	if PairWork(7, 1, false) != 3 || PairWork(7, 1, true) != 2 {
+		t.Fatal("booth flag not honoured")
+	}
+}
+
+func TestSimulateTileOrdering(t *testing.T) {
+	// Theoretical ≤ average-PE ≤ tile latency, always (Figure 4).
+	g := workload.NewGen(1)
+	for _, density := range []float64{0.2, 0.5, 1.0} {
+		for trial := 0; trial < 20; trial++ {
+			run := SimulateTile(g, DefaultConfig(), 8, density)
+			if run.TheoreticalCycles > run.AvgPECycles+1e-9 {
+				t.Fatalf("theoretical %v > avg PE %v", run.TheoreticalCycles, run.AvgPECycles)
+			}
+			if run.AvgPECycles > float64(run.TileCycles)+1e-9 {
+				t.Fatalf("avg PE %v > tile %v", run.AvgPECycles, run.TileCycles)
+			}
+		}
+	}
+}
+
+func TestValueSparsityInsensitivity(t *testing.T) {
+	// Figure 4's headline: halving value density should NOT halve tile
+	// latency — the lock-step max over lanes barely moves, while the
+	// theoretical bound scales with density.
+	g := workload.NewGen(3)
+	avg := func(density float64) (tile, theo float64) {
+		for i := 0; i < 300; i++ {
+			run := SimulateTile(g, DefaultConfig(), 8, density)
+			tile += float64(run.TileCycles)
+			theo += run.TheoreticalCycles
+		}
+		return tile / 300, theo / 300
+	}
+	tileDense, theoDense := avg(1.0)
+	tileSparse, theoSparse := avg(0.4)
+	if theoSparse >= theoDense*0.55 {
+		t.Fatalf("theoretical bound should scale with density: %v vs %v", theoSparse, theoDense)
+	}
+	if tileSparse < tileDense*0.75 {
+		t.Fatalf("tile latency too sensitive to sparsity: %v vs %v", tileSparse, tileDense)
+	}
+}
+
+func TestExpectedMax(t *testing.T) {
+	// Point mass at 3: E[max] = 3 for any n.
+	dist := []float64{0, 0, 0, 1}
+	if got := expectedMax(dist, 16); got < 2.999 || got > 3.001 {
+		t.Fatalf("expectedMax point mass = %v", got)
+	}
+	// Uniform on {0,1}: E[max of n] → 1 as n grows.
+	dist = []float64{0.5, 0.5}
+	small := expectedMax(dist, 1)
+	big := expectedMax(dist, 64)
+	if small < 0.49 || small > 0.51 {
+		t.Fatalf("E[max of 1] = %v, want 0.5", small)
+	}
+	if big < 0.99 {
+		t.Fatalf("E[max of 64] = %v, want ≈1", big)
+	}
+}
+
+func layerStats(t *testing.T, seed int64, bits int, wd, ad float64) workload.LayerStats {
+	t.Helper()
+	g := workload.NewGen(seed)
+	l := model.Layer{Name: "t", C: 32, H: 14, W: 14, K: 16, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	return g.LayerStats(l, bits, bits, 2, workload.Targets{WDensity: wd, ADensity: ad}, true)
+}
+
+func TestEstimateLayerLowerPrecisionFaster(t *testing.T) {
+	// Bit-serial: fewer effectual terms at lower precision → fewer cycles.
+	c8 := EstimateLayer(layerStats(t, 5, 8, 0.5, 0.5), DefaultConfig())
+	c2 := EstimateLayer(layerStats(t, 5, 2, 0.5, 0.5), DefaultConfig())
+	if c2.Cycles >= c8.Cycles {
+		t.Fatalf("2-bit (%d) not faster than 8-bit (%d)", c2.Cycles, c8.Cycles)
+	}
+}
+
+func TestEstimateLayerValueSparsityWeak(t *testing.T) {
+	// Value sparsity gives Laconic little: halving density must not halve
+	// cycles (the round count is dense and the max barely moves).
+	dense := EstimateLayer(layerStats(t, 6, 8, 0.9, 0.9), DefaultConfig())
+	sparse := EstimateLayer(layerStats(t, 6, 8, 0.45, 0.45), DefaultConfig())
+	if float64(sparse.Cycles) < 0.6*float64(dense.Cycles) {
+		t.Fatalf("Laconic too sensitive to value sparsity: %d vs %d", sparse.Cycles, dense.Cycles)
+	}
+}
+
+func TestEstimateNetwork(t *testing.T) {
+	g := workload.NewGen(7)
+	n := model.AlexNet()
+	stats := g.NetworkStats(n, model.Uniform(n, 4), 2, true)
+	cycles, cnt := EstimateNetwork(stats, DefaultConfig())
+	if cycles <= 0 || cnt.TermOps <= 0 || cnt.DRAMBytes <= 0 {
+		t.Fatalf("bad estimate: %d cycles %+v", cycles, cnt)
+	}
+	// Dense storage: DRAM traffic must match the uncompressed operand sizes
+	// order of magnitude (no compression savings).
+	var denseBytes int64
+	for _, l := range n.Layers {
+		denseBytes += l.Activations()*4/8 + l.Weights()*4/8
+	}
+	if cnt.DRAMBytes < denseBytes {
+		t.Fatalf("DRAM bytes %d below dense operand size %d", cnt.DRAMBytes, denseBytes)
+	}
+}

@@ -1,0 +1,98 @@
+package laconic
+
+import (
+	"math"
+
+	"ristretto/internal/energy"
+	"ristretto/internal/workload"
+)
+
+// This file models the Figure 3 strawman: Laconic with value-level sparsity
+// bolted on by compressing operands (CSR) and adding a SNAP-style
+// associative index matcher (AIM) plus a local booth encoder inside every
+// PE. Section II-B2b identifies its two problems, both of which this model
+// expresses:
+//
+//  1. considerable area overhead — the per-PE AIM and relocated booth
+//     encoders (ModifiedAreaFactor);
+//  2. PE underutilization — lanes only fill with *matched* non-zero pairs,
+//     and the lock-step tile still waits for the slowest PE, so the benefit
+//     of rising value sparsity saturates.
+
+// ModifiedAreaFactor is the compute-area multiplier of the modified PE:
+// an AIM comparator array plus a local booth encoder roughly sized against
+// the 16 bit-serial multipliers they feed (SNAP reports AIM ≈ 40% of a PE;
+// encoders previously amortized at the array boundary add ~20%).
+const ModifiedAreaFactor = 1.6
+
+// EstimateLayerModified estimates a layer on the modified design: operand
+// vectors are compressed, each PE's AIM extracts the matched pairs of its
+// 16-long logical window, and the bit-serial lanes process only those pairs.
+// Rounds still cover the dense MAC count (windows are positional), but a
+// round's latency is now the expected maximum over the *matched* pair
+// workloads — value sparsity shortens the tail yet the max barely moves
+// until sparsity is extreme.
+func EstimateLayerModified(st workload.LayerStats, cfg Config) LayerPerf {
+	l := st.Layer
+	pairs := l.MACs()
+	perRound := int64(cfg.PEs() * cfg.Lanes)
+	rounds := (pairs + perRound - 1) / perRound
+
+	// Pair workload distribution including zero-valued operands: the AIM
+	// removes zero pairs from the lanes, but a removed pair contributes a
+	// zero workload — exactly what the dense distribution already encodes
+	// (terms(0) = 0). The difference against plain Laconic is bandwidth:
+	// matched pairs per window are compacted onto lanes, letting a PE
+	// retire a window in ceil(matched/lanes) lane-occupancies instead of
+	// one, shortening rounds when value sparsity is high.
+	matchFrac := st.A.ValueDensity * st.W.ValueDensity
+	effRounds := int64(math.Ceil(float64(rounds) * math.Max(matchFrac*1.25, 1.0/float64(cfg.Lanes))))
+	if effRounds < 1 {
+		effRounds = 1
+	}
+
+	dist := workDist(st.ATermHist, st.WTermHist)
+	roundLat := expectedMax(dist, int(perRound))
+	if roundLat < 1 {
+		roundLat = 1
+	}
+	p := LayerPerf{Cycles: int64(float64(effRounds) * roundLat)}
+
+	meanWork := 0.0
+	for x, pr := range dist {
+		meanWork += float64(x) * pr
+	}
+	p.Counters.TermOps = int64(meanWork * float64(pairs))
+	// AIM activity: one associative match per compressed pair per window.
+	p.Counters.InnerJoin = int64(matchFrac * float64(pairs))
+	// CSR-compressed movement instead of dense.
+	var actNZ int64
+	for _, n := range st.ActNZPerChan {
+		actNZ += int64(n)
+	}
+	var wnz int64
+	for _, n := range st.WNZPerChan {
+		wnz += int64(n)
+	}
+	aBytes := actNZ * int64(st.ABits+16) / 8 // CSR: payload + 16-bit column index
+	wBytes := wnz * int64(st.WBits+16) / 8
+	outVals := int64(l.K) * int64(l.OutH()) * int64(l.OutW())
+	p.Counters.InputBufBytes = aBytes * int64((l.K+cfg.PECols-1)/cfg.PECols)
+	p.Counters.WeightBufBytes = wBytes * int64((l.OutH()*l.OutW()+cfg.PERows-1)/cfg.PERows)
+	p.Counters.OutputBufBytes = outVals * 4
+	passes := energy.WeightPassAmplification(wBytes, 0)
+	p.Counters.DRAMBytes = aBytes*passes + wBytes + outVals*int64(st.ABits)/8
+	return p
+}
+
+// EstimateNetworkModified sums modified-design layer estimates.
+func EstimateNetworkModified(stats []workload.LayerStats, cfg Config) (int64, energy.Counters) {
+	var cycles int64
+	var cnt energy.Counters
+	for _, st := range stats {
+		p := EstimateLayerModified(st, cfg)
+		cycles += p.Cycles
+		cnt.Add(p.Counters)
+	}
+	return cycles, cnt
+}

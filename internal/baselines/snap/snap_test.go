@@ -1,0 +1,123 @@
+package snap
+
+import (
+	"testing"
+
+	"ristretto/internal/model"
+	"ristretto/internal/workload"
+)
+
+func compress(v []int32) (idx, val []int32) {
+	for i, x := range v {
+		if x != 0 {
+			idx = append(idx, int32(i))
+			val = append(val, x)
+		}
+	}
+	return idx, val
+}
+
+func TestMatchVectorsDotProduct(t *testing.T) {
+	g := workload.NewGen(1)
+	a := g.SparseVector(200, 8, 0.4, false)
+	w := g.SparseVector(200, 8, 0.5, true)
+	ai, av := compress(a)
+	wi, wv := compress(w)
+	dot, matched, cycles := MatchVectors(ai, av, wi, wv, DefaultConfig())
+	var want int32
+	var wantM int64
+	for i := range a {
+		want += a[i] * w[i]
+		if a[i] != 0 && w[i] != 0 {
+			wantM++
+		}
+	}
+	if dot != want {
+		t.Fatalf("dot %d != %d", dot, want)
+	}
+	if matched != wantM {
+		t.Fatalf("matched %d != %d", matched, wantM)
+	}
+	if cycles < 1 {
+		t.Fatal("cycles must be positive")
+	}
+	// The MAC row retires 3 pairs/cycle: cycles ≥ matched/3.
+	if cycles < (matched+2)/3 {
+		t.Fatalf("cycles %d below MAC bound for %d matches", cycles, matched)
+	}
+}
+
+func TestMatchVectorsEmpty(t *testing.T) {
+	dot, matched, cycles := MatchVectors(nil, nil, nil, nil, DefaultConfig())
+	if dot != 0 || matched != 0 || cycles != 1 {
+		t.Fatalf("empty match: %d %d %d", dot, matched, cycles)
+	}
+}
+
+func TestMatchVectorsAIMBound(t *testing.T) {
+	// Dense-ish long vectors: AIM scan (window 16) must bound cycles even
+	// when few pairs match.
+	a := make([]int32, 320)
+	w := make([]int32, 320)
+	for i := range a {
+		a[i] = 1 // dense activations
+	}
+	w[0] = 1 // single weight
+	ai, av := compress(a)
+	wi, wv := compress(w)
+	_, matched, cycles := MatchVectors(ai, av, wi, wv, DefaultConfig())
+	if matched != 1 {
+		t.Fatalf("matched = %d", matched)
+	}
+	if cycles != 20 { // 320/16 scan steps
+		t.Fatalf("cycles = %d, want 20 (AIM scan bound)", cycles)
+	}
+}
+
+func layerStats(t *testing.T, seed int64, bits int, wd, ad float64) workload.LayerStats {
+	t.Helper()
+	g := workload.NewGen(seed)
+	l := model.Layer{Name: "t", C: 32, H: 14, W: 14, K: 16, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	return g.LayerStats(l, bits, bits, 2, workload.Targets{WDensity: wd, ADensity: ad}, true)
+}
+
+func TestEstimateLayerDualSidedSparsityHelps(t *testing.T) {
+	dense := EstimateLayer(layerStats(t, 2, 8, 0.9, 0.9), DefaultConfig())
+	sparse := EstimateLayer(layerStats(t, 2, 8, 0.3, 0.3), DefaultConfig())
+	if sparse.Cycles >= dense.Cycles {
+		t.Fatalf("sparse (%d) not faster than dense (%d)", sparse.Cycles, dense.Cycles)
+	}
+	// Dual-sided: 0.3×0.3 ≈ 9× fewer matches than 0.9×0.9 — expect a large
+	// (though AIM-scan-bounded) gain.
+	if float64(dense.Cycles)/float64(sparse.Cycles) < 2 {
+		t.Fatalf("gain too small: %d vs %d", dense.Cycles, sparse.Cycles)
+	}
+}
+
+func TestEstimateLayerPrecisionInsensitive(t *testing.T) {
+	// Fixed-precision 16-bit MACs: like SparTen, SNAP gains nothing from
+	// lower operand precision beyond its sparsity side-effects.
+	l := model.Layer{Name: "t", C: 32, H: 14, W: 14, K: 16, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	exact := func(bits int) workload.LayerStats {
+		g := workload.NewGen(3)
+		f := g.FeatureMapExact(l.C, l.H, l.W, bits, 2, 0.5, 0.8)
+		w := g.KernelsExact(l.K, l.C, l.KH, l.KW, bits, 2, 0.5, 0.8)
+		return workload.StatsFromTensors(l, f, w, 2, true)
+	}
+	c8 := EstimateLayer(exact(8), DefaultConfig())
+	c2 := EstimateLayer(exact(2), DefaultConfig())
+	ratio := float64(c8.Cycles) / float64(c2.Cycles)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("SNAP should be precision-insensitive: 8b=%d 2b=%d", c8.Cycles, c2.Cycles)
+	}
+}
+
+func TestEstimateNetwork(t *testing.T) {
+	g := workload.NewGen(4)
+	n := model.AlexNet()
+	stats := g.NetworkStats(n, model.Uniform(n, 8), 2, true)
+	cycles, cnt := EstimateNetwork(stats, DefaultConfig())
+	if cycles <= 0 || cnt.MAC8 <= 0 || cnt.InnerJoin <= 0 {
+		t.Fatalf("bad estimate: %d %+v", cycles, cnt)
+	}
+}

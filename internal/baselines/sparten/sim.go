@@ -1,0 +1,114 @@
+package sparten
+
+import (
+	"sort"
+
+	"ristretto/internal/tensor"
+)
+
+// SimResult is the outcome of the detailed (tensor-level) SparTen layer
+// simulation.
+type SimResult struct {
+	Output   *tensor.OutputMap
+	Cycles   int64 // slowest CU
+	CUCycles []int64
+	Pairs    int64 // matched non-zero pairs (MAC operations)
+}
+
+// SimulateLayer runs a whole (small) layer through the detailed CU model:
+// filters are assigned to CUs greedily by non-zero weight count; each CU
+// computes its filters' inner products pixel by pixel with the bitmap
+// inner-join (or the SparTen-mp fusion-unit variant), and the layer latency
+// is the slowest CU. The numeric output is bit-exact against refconv.Conv,
+// and the cycle count cross-validates EstimateLayer.
+func SimulateLayer(f *tensor.FeatureMap, w *tensor.KernelStack, stride, pad int, cfg Config) SimResult {
+	oh := tensor.ConvOutSize(f.H, w.KH, stride, pad)
+	ow := tensor.ConvOutSize(f.W, w.KW, stride, pad)
+	res := SimResult{
+		Output:   tensor.NewOutputMap(w.K, oh, ow),
+		CUCycles: make([]int64, cfg.CUs),
+	}
+
+	// Greedy filter→CU assignment by weight count (w balancing).
+	nz := make([]int, w.K)
+	for k := 0; k < w.K; k++ {
+		for _, v := range w.Kernel(k) {
+			if v != 0 {
+				nz[k]++
+			}
+		}
+	}
+	order := make([]int, w.K)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return nz[order[i]] > nz[order[j]] })
+	assign := make([]int, w.K)
+	load := make([]int64, cfg.CUs)
+	for _, k := range order {
+		best := 0
+		for i := 1; i < cfg.CUs; i++ {
+			if load[i] < load[best] {
+				best = i
+			}
+		}
+		assign[k] = best
+		load[best] += int64(nz[k])
+	}
+
+	vecLen := f.C * w.KH * w.KW
+	aVec := make([]int32, vecLen)
+	wVec := make([]int32, vecLen)
+	for k := 0; k < w.K; k++ {
+		// The filter vector is fixed per output channel.
+		i := 0
+		for c := 0; c < w.C; c++ {
+			for dy := 0; dy < w.KH; dy++ {
+				for dx := 0; dx < w.KW; dx++ {
+					wVec[i] = w.At(k, c, dy, dx)
+					i++
+				}
+			}
+		}
+		cu := assign[k]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				i = 0
+				for c := 0; c < f.C; c++ {
+					for dy := 0; dy < w.KH; dy++ {
+						iy := oy*stride - pad + dy
+						for dx := 0; dx < w.KW; dx++ {
+							ix := ox*stride - pad + dx
+							if iy >= 0 && iy < f.H && ix >= 0 && ix < f.W {
+								aVec[i] = f.At(c, iy, ix)
+							} else {
+								aVec[i] = 0
+							}
+							i++
+						}
+					}
+				}
+				var dot int32
+				var cycles int64
+				if cfg.MP {
+					dot, cycles = InnerProductMP(aVec, wVec, w.Bits, f.Bits)
+				} else {
+					dot, cycles = InnerProduct(aVec, wVec)
+				}
+				res.Output.Set(k, oy, ox, dot)
+				res.CUCycles[cu] += cycles
+				for i := range aVec {
+					if aVec[i] != 0 && wVec[i] != 0 {
+						res.Pairs++
+					}
+				}
+			}
+		}
+	}
+	for _, c := range res.CUCycles {
+		if c > res.Cycles {
+			res.Cycles = c
+		}
+	}
+	return res
+}

@@ -1,0 +1,67 @@
+package sparten
+
+import (
+	"testing"
+
+	"ristretto/internal/model"
+	"ristretto/internal/refconv"
+	"ristretto/internal/workload"
+)
+
+func TestSimulateLayerBitExact(t *testing.T) {
+	g := workload.NewGen(1)
+	f := g.FeatureMapExact(4, 10, 10, 8, 2, 0.5, 0.8)
+	w := g.KernelsExact(8, 4, 3, 3, 8, 2, 0.5, 0.8)
+	for _, cfg := range []Config{{CUs: 4}, {CUs: 4, MP: true}, {CUs: 1}} {
+		sim := SimulateLayer(f, w, 1, 1, cfg)
+		want := refconv.Conv(f, w, 1, 1)
+		if !sim.Output.Equal(want) {
+			t.Fatalf("cfg %+v: SparTen simulation output wrong (maxdiff %d)", cfg, sim.Output.MaxAbsDiff(want))
+		}
+		if sim.Cycles <= 0 || sim.Pairs <= 0 {
+			t.Fatalf("cfg %+v: no work recorded", cfg)
+		}
+	}
+}
+
+func TestSimulateLayerStridePad(t *testing.T) {
+	g := workload.NewGen(2)
+	f := g.FeatureMapExact(3, 9, 9, 4, 2, 0.6, 0.8)
+	w := g.KernelsExact(5, 3, 3, 3, 4, 2, 0.6, 0.8)
+	sim := SimulateLayer(f, w, 2, 1, DefaultConfig())
+	want := refconv.Conv(f, w, 2, 1)
+	if !sim.Output.Equal(want) {
+		t.Fatal("strided SparTen simulation wrong")
+	}
+}
+
+func TestEstimateTracksSimulation(t *testing.T) {
+	// The analytic model must track the detailed simulation within ~25% on
+	// a layer large enough for the statistical expectations to hold.
+	g := workload.NewGen(3)
+	l := model.Layer{Name: "t", C: 16, H: 14, W: 14, K: 16, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	f := g.FeatureMap(l.C, l.H, l.W, 8, 0.45)
+	w := g.Kernels(l.K, l.C, l.KH, l.KW, 8, 0.5)
+	cfg := Config{CUs: 8}
+	sim := SimulateLayer(f, w, l.Stride, l.Pad, cfg)
+	st := workload.StatsFromTensors(l, f, w, 2, true)
+	est := EstimateLayer(st, cfg)
+	ratio := float64(sim.Cycles) / float64(est.Cycles)
+	if ratio < 0.75 || ratio > 1.25 {
+		t.Fatalf("simulation %d vs estimate %d (ratio %.3f) outside tolerance", sim.Cycles, est.Cycles, ratio)
+	}
+}
+
+func TestSimulatedMPFasterAt2Bit(t *testing.T) {
+	g := workload.NewGen(4)
+	f := g.FeatureMapExact(8, 10, 10, 2, 2, 0.5, 1.0)
+	w := g.KernelsExact(8, 8, 3, 3, 2, 2, 0.5, 1.0)
+	plain := SimulateLayer(f, w, 1, 1, Config{CUs: 4})
+	mp := SimulateLayer(f, w, 1, 1, Config{CUs: 4, MP: true})
+	if mp.Cycles >= plain.Cycles {
+		t.Fatalf("SparTen-mp (%d) not faster than SparTen (%d) at 2 bits", mp.Cycles, plain.Cycles)
+	}
+	if !mp.Output.Equal(plain.Output) {
+		t.Fatal("mp and plain disagree numerically")
+	}
+}

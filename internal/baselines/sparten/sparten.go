@@ -1,0 +1,244 @@
+// Package sparten models SparTen (Gondimalla et al., MICRO 2019), the
+// state-of-the-art dual-sided sparse CNN accelerator the paper compares
+// against (Sections II-B2a, V-D), plus the SparTen-mp strawman that bolts a
+// Bit Fusion fusion unit and 16 parallel inner-joins onto each compute unit.
+//
+// A SparTen compute unit (CU) holds one filter and receives broadcast
+// activation vectors in bitmap-compressed form. Per cycle its inner-join
+// module ANDs the two bitmasks and extracts ONE matched non-zero
+// weight/activation pair (priority encoding + prefix sums), feeding an 8-bit
+// scalar MAC. The latency of one inner product is therefore the number of
+// matched pairs, floored at one cycle per bitmask chunk. Filters are
+// assigned to CUs offline, greedily by weight density (the paper's
+// "w balancing").
+package sparten
+
+import (
+	"math"
+	"sort"
+
+	"ristretto/internal/energy"
+	"ristretto/internal/sparse"
+	"ristretto/internal/workload"
+)
+
+// ChunkLen is the logical vector length one inner-join bitmask covers.
+const ChunkLen = 128
+
+// Config parameterizes a SparTen accelerator.
+type Config struct {
+	CUs int  // parallel compute units (paper: 32)
+	MP  bool // SparTen-mp: fusion-unit MAC + 16 parallel inner-joins
+}
+
+// DefaultConfig matches Section V-D: 32 CUs.
+func DefaultConfig() Config { return Config{CUs: 32} }
+
+// InnerProduct runs the detailed CU model on one (activation, weight) vector
+// pair: it returns the dot product and the cycles the inner-join serializes
+// it to — max(1, matched pairs) per 128-long chunk.
+func InnerProduct(a, w []int32) (dot int32, cycles int64) {
+	if len(a) != len(w) {
+		panic("sparten: vector length mismatch")
+	}
+	for off := 0; off < len(a); off += ChunkLen {
+		end := off + ChunkLen
+		if end > len(a) {
+			end = len(a)
+		}
+		av := sparse.EncodeBitmap(a[off:end], 8)
+		wv := sparse.EncodeBitmap(w[off:end], 8)
+		matched := int64(0)
+		for _, p := range sparse.MatchedPairs(av, wv) {
+			dot += p[0] * p[1]
+			matched++
+		}
+		if matched < 1 {
+			matched = 1 // the bitmask still occupies the inner-join for a cycle
+		}
+		cycles += matched
+	}
+	return dot, cycles
+}
+
+// InnerProductMP is the SparTen-mp CU model: 16 inner-joins each own a
+// 32-bit sub-mask and extract one pair per cycle; the fusion unit consumes
+// up to pairsPerCycle matched pairs per cycle (16 at 2-bit, 4 at 4-bit, 1 at
+// 8-bit). The cycle count is bounded below by both the busiest lane and the
+// fusion unit's consumption bandwidth.
+func InnerProductMP(a, w []int32, wbits, abits int) (dot int32, cycles int64) {
+	if len(a) != len(w) {
+		panic("sparten: vector length mismatch")
+	}
+	rate := PairsPerCycle(wbits, abits)
+	for off := 0; off < len(a); off += 16 * 32 {
+		end := off + 16*32
+		if end > len(a) {
+			end = len(a)
+		}
+		av := sparse.EncodeBitmap(a[off:end], 8)
+		wv := sparse.EncodeBitmap(w[off:end], 8)
+		var matched int64
+		for _, p := range sparse.MatchedPairs(av, wv) {
+			dot += p[0] * p[1]
+			matched++
+		}
+		maxLane := int64(0)
+		for _, c := range sparse.LaneMatchCounts(av, wv, 32) {
+			if int64(c) > maxLane {
+				maxLane = int64(c)
+			}
+		}
+		c := (matched + rate - 1) / rate
+		if maxLane > c {
+			c = maxLane
+		}
+		if c < 1 {
+			c = 1
+		}
+		cycles += c
+	}
+	return dot, cycles
+}
+
+// PairsPerCycle returns the fusion unit's pair consumption bandwidth: one
+// 8-bit, four 4-bit or sixteen 2-bit multiplications per cycle.
+func PairsPerCycle(wbits, abits int) int64 {
+	sub := int64(((wbits + 1) / 2) * ((abits + 1) / 2))
+	r := 16 / sub
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// LayerPerf is the analytic layer estimate.
+type LayerPerf struct {
+	Cycles   int64
+	CUCycles []int64
+	Counters energy.Counters
+}
+
+// EstimateLayer applies the CU model statistically to a whole layer. Each
+// output pixel of each filter costs one inner product over the C·kh·kw
+// receptive field; its expected inner-join latency is
+// max(#chunks, αv·nnz(filter)) — matched pairs dominated by the filter's
+// non-zero count times the activation value density. Filters are distributed
+// over CUs greedily by non-zero weight count (SparTen's offline balancing)
+// and the layer latency is the slowest CU.
+func EstimateLayer(st workload.LayerStats, cfg Config) LayerPerf {
+	l := st.Layer
+	outPix := int64(l.OutH()) * int64(l.OutW())
+	alphaV := st.A.ValueDensity
+	vecLen := l.C * l.KH * l.KW
+	chunks := int64((vecLen + ChunkLen - 1) / ChunkLen)
+
+	// Per-filter inner-product latency (cycles per output pixel).
+	perFilter := make([]int64, l.K)
+	var rate int64 = 1
+	if cfg.MP {
+		rate = PairsPerCycle(st.WBits, st.ABits)
+	}
+	for k := 0; k < l.K; k++ {
+		matched := alphaV * float64(st.WNZPerFilter[k])
+		var c int64
+		if cfg.MP {
+			// 16 lanes: bounded by consumption bandwidth and the busiest
+			// lane (mean + dispersion term of a multinomial split).
+			mean := matched / 16
+			maxLane := mean + 1.2*math.Sqrt(mean*2.77) // ≈ E[max of 16 Poisson] , ln16≈2.77
+			c = int64(matched/float64(rate) + 0.5)
+			if int64(maxLane+0.5) > c {
+				c = int64(maxLane + 0.5)
+			}
+			mpChunks := int64((vecLen + 16*32 - 1) / (16 * 32))
+			if c < mpChunks {
+				c = mpChunks
+			}
+		} else {
+			c = int64(matched + 0.5)
+			if c < chunks {
+				c = chunks
+			}
+		}
+		perFilter[k] = c * outPix
+	}
+
+	// Greedy filter→CU assignment by weight count (w balancing): largest
+	// filters first onto the least-loaded CU.
+	order := make([]int, l.K)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return st.WNZPerFilter[order[i]] > st.WNZPerFilter[order[j]]
+	})
+	cu := make([]int64, cfg.CUs)
+	for _, k := range order {
+		best := 0
+		for i := 1; i < cfg.CUs; i++ {
+			if cu[i] < cu[best] {
+				best = i
+			}
+		}
+		cu[best] += perFilter[k]
+	}
+
+	p := LayerPerf{CUCycles: cu}
+	for _, c := range cu {
+		if c > p.Cycles {
+			p.Cycles = c
+		}
+	}
+
+	// Energy events.
+	var totalPairs int64
+	for k := 0; k < l.K; k++ {
+		totalPairs += int64(alphaV*float64(st.WNZPerFilter[k])+0.5) * outPix
+	}
+	var totalCycles int64
+	for _, c := range cu {
+		totalCycles += c
+	}
+	if cfg.MP {
+		p.Counters.Fusion2b = totalPairs * (int64((st.WBits+1)/2) * int64((st.ABits+1)/2))
+		p.Counters.InnerJoin = totalCycles * 16
+	} else {
+		p.Counters.MAC8 = totalPairs
+		p.Counters.InnerJoin = totalCycles
+	}
+	// Buffer traffic: each CU re-reads the broadcast activation vector per
+	// output pixel (bitmap payload + mask), and its filter once per layer.
+	actNZ := int64(float64(vecLen) * alphaV)
+	actBytes := actNZ + int64(vecLen)/8 // 8-bit values + bitmask
+	p.Counters.InputBufBytes = actBytes * outPix * int64(cfg.CUs)
+	var wnz int64
+	for _, n := range st.WNZPerFilter {
+		wnz += int64(n)
+	}
+	p.Counters.WeightBufBytes = wnz + int64(l.K*vecLen)/8
+	p.Counters.OutputBufBytes = outPix * int64(l.K) * 4
+	// DRAM: bitmap-compressed activations, weights, outputs.
+	var actPlaneNZ int64
+	for _, n := range st.ActNZPerChan {
+		actPlaneNZ += int64(n)
+	}
+	wDRAM := wnz + int64(l.Weights())/8
+	passes := energy.WeightPassAmplification(wDRAM, 0)
+	p.Counters.DRAMBytes = (actPlaneNZ+int64(l.Activations())/8)*passes +
+		wDRAM +
+		int64(float64(outPix)*float64(l.K)*st.A.ValueDensity) + outPix*int64(l.K)/8
+	return p
+}
+
+// EstimateNetwork sums layer estimates.
+func EstimateNetwork(stats []workload.LayerStats, cfg Config) (int64, energy.Counters) {
+	var cycles int64
+	var cnt energy.Counters
+	for _, st := range stats {
+		p := EstimateLayer(st, cfg)
+		cycles += p.Cycles
+		cnt.Add(p.Counters)
+	}
+	return cycles, cnt
+}

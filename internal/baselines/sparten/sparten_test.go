@@ -1,0 +1,144 @@
+package sparten
+
+import (
+	"testing"
+
+	"ristretto/internal/model"
+	"ristretto/internal/workload"
+)
+
+func denseDot(a, w []int32) int32 {
+	var d int32
+	for i := range a {
+		d += a[i] * w[i]
+	}
+	return d
+}
+
+func TestInnerProductCorrectAndCycleModel(t *testing.T) {
+	g := workload.NewGen(1)
+	a := g.SparseVector(300, 8, 0.4, false)
+	w := g.SparseVector(300, 8, 0.5, true)
+	dot, cycles := InnerProduct(a, w)
+	if dot != denseDot(a, w) {
+		t.Fatalf("dot %d != dense %d", dot, denseDot(a, w))
+	}
+	// Cycles: matched pairs with a floor of one per chunk (3 chunks).
+	matched := int64(0)
+	for i := range a {
+		if a[i] != 0 && w[i] != 0 {
+			matched++
+		}
+	}
+	if cycles < 3 || cycles < matched || cycles > matched+3 {
+		t.Fatalf("cycles %d implausible for %d matched pairs", cycles, matched)
+	}
+}
+
+func TestInnerProductEmptyChunks(t *testing.T) {
+	a := make([]int32, 256)
+	w := make([]int32, 256)
+	dot, cycles := InnerProduct(a, w)
+	if dot != 0 || cycles != 2 {
+		t.Fatalf("all-zero vectors: dot=%d cycles=%d, want 0 and 2", dot, cycles)
+	}
+}
+
+func TestInnerProductMPCorrectAndFaster(t *testing.T) {
+	g := workload.NewGen(2)
+	a := g.SparseVector(512, 8, 0.5, false)
+	w := g.SparseVector(512, 8, 0.5, true)
+	dot, cy2 := InnerProductMP(a, w, 2, 2)
+	if dot != denseDot(a, w) {
+		t.Fatalf("mp dot wrong")
+	}
+	_, cyPlain := InnerProduct(a, w)
+	if cy2 >= cyPlain {
+		t.Fatalf("mp at 2 bits (%d) not faster than plain (%d)", cy2, cyPlain)
+	}
+	// At 8 bits the fusion unit consumes one pair/cycle: no speedup beyond
+	// lane parallelism floor.
+	_, cy8 := InnerProductMP(a, w, 8, 8)
+	if cy8 > cyPlain {
+		t.Fatalf("mp at 8 bits (%d) slower than plain (%d)", cy8, cyPlain)
+	}
+	if cy2 > cy8 {
+		t.Fatalf("mp 2-bit (%d) slower than mp 8-bit (%d)", cy2, cy8)
+	}
+}
+
+func TestPairsPerCycle(t *testing.T) {
+	cases := []struct {
+		w, a int
+		want int64
+	}{
+		{8, 8, 1}, {4, 4, 4}, {2, 2, 16}, {2, 8, 4}, {8, 2, 4}, {2, 4, 8},
+	}
+	for _, c := range cases {
+		if got := PairsPerCycle(c.w, c.a); got != c.want {
+			t.Errorf("PairsPerCycle(%d,%d) = %d, want %d", c.w, c.a, got, c.want)
+		}
+	}
+}
+
+func layerStats(t *testing.T, seed int64, bits int, wd, ad float64) workload.LayerStats {
+	t.Helper()
+	g := workload.NewGen(seed)
+	l := model.Layer{Name: "t", C: 32, H: 14, W: 14, K: 16, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	return g.LayerStats(l, bits, bits, 2, workload.Targets{WDensity: wd, ADensity: ad}, true)
+}
+
+func TestEstimateLayerSparsityHelps(t *testing.T) {
+	dense := EstimateLayer(layerStats(t, 3, 8, 0.9, 0.9), DefaultConfig())
+	sparse := EstimateLayer(layerStats(t, 3, 8, 0.3, 0.3), DefaultConfig())
+	if sparse.Cycles >= dense.Cycles {
+		t.Fatalf("sparse (%d) not faster than dense (%d)", sparse.Cycles, dense.Cycles)
+	}
+}
+
+func TestEstimateLayerPrecisionInsensitive(t *testing.T) {
+	// SparTen extracts one pair per cycle regardless of bit-width: at
+	// *identical* value densities (exact-mode operands), 2-bit and 8-bit
+	// layers cost the same cycles.
+	l := model.Layer{Name: "t", C: 32, H: 14, W: 14, K: 16, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	exact := func(bits int) workload.LayerStats {
+		g := workload.NewGen(4)
+		f := g.FeatureMapExact(l.C, l.H, l.W, bits, 2, 0.5, 0.8)
+		w := g.KernelsExact(l.K, l.C, l.KH, l.KW, bits, 2, 0.5, 0.8)
+		return workload.StatsFromTensors(l, f, w, 2, true)
+	}
+	c8 := EstimateLayer(exact(8), DefaultConfig())
+	c2 := EstimateLayer(exact(2), DefaultConfig())
+	ratio := float64(c8.Cycles) / float64(c2.Cycles)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("SparTen cycles should be precision-insensitive: 8b=%d 2b=%d", c8.Cycles, c2.Cycles)
+	}
+}
+
+func TestMPFasterAtLowPrecision(t *testing.T) {
+	st := layerStats(t, 5, 2, 0.5, 0.5)
+	plain := EstimateLayer(st, Config{CUs: 32})
+	mp := EstimateLayer(st, Config{CUs: 32, MP: true})
+	if mp.Cycles >= plain.Cycles {
+		t.Fatalf("SparTen-mp (%d) not faster than SparTen (%d) at 2 bits", mp.Cycles, plain.Cycles)
+	}
+}
+
+func TestMoreCUsFaster(t *testing.T) {
+	st := layerStats(t, 6, 8, 0.5, 0.5)
+	small := EstimateLayer(st, Config{CUs: 8})
+	big := EstimateLayer(st, Config{CUs: 32})
+	if big.Cycles >= small.Cycles {
+		t.Fatalf("32 CUs (%d) not faster than 8 CUs (%d)", big.Cycles, small.Cycles)
+	}
+}
+
+func TestEstimateNetwork(t *testing.T) {
+	g := workload.NewGen(7)
+	n := model.AlexNet()
+	stats := g.NetworkStats(n, model.Uniform(n, 8), 2, true)
+	cycles, cnt := EstimateNetwork(stats, DefaultConfig())
+	if cycles <= 0 || cnt.MAC8 <= 0 || cnt.InnerJoin <= 0 || cnt.DRAMBytes <= 0 {
+		t.Fatalf("bad network estimate: %d cycles, %+v", cycles, cnt)
+	}
+}

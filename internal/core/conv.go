@@ -1,0 +1,124 @@
+package core
+
+import (
+	"ristretto/internal/atom"
+	"ristretto/internal/refconv"
+	"ristretto/internal/tensor"
+)
+
+// Config selects the CSC parameters.
+type Config struct {
+	Gran       atom.Granularity // atom bit-width N (default 2)
+	Multiplier int              // static stream length / parallel atom multipliers
+	TileW      int              // feature-map tile width (0 = whole plane)
+	TileH      int              // feature-map tile height (0 = whole plane)
+	Dense      bool             // keep zero values and zero atoms (Ristretto-ns)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Gran == 0 {
+		c.Gran = 2
+	}
+	if c.Multiplier == 0 {
+		c.Multiplier = 32
+	}
+	return c
+}
+
+// Stats aggregates the work a CSC convolution performed.
+type Stats struct {
+	Steps       int // total intersection steps (per-tile serialized)
+	Products    int // atom multiplications
+	ActAtoms    int // total activation atoms streamed (over all tiles/rounds once)
+	WeightAtoms int // total weight atoms in static streams (unique)
+	Rounds      int
+	SliceDrains int
+}
+
+// Convolve runs the full CSC pipeline for one layer on a single stream of
+// compute (the multi-tile parallel mapping lives in internal/ristretto):
+// flatten and compress each (input channel, tile) pair, intersect against
+// the per-channel static weight streams, overlap-add the per-tile full
+// convolutions, and extract the strided/padded output. The result is
+// bit-exact against refconv.Conv.
+func Convolve(f *tensor.FeatureMap, w *tensor.KernelStack, stride, pad int, cfg Config) (*tensor.OutputMap, Stats) {
+	full, st := ConvolveFull(f, w, cfg)
+	out := refconv.ExtractStrided(full, f.H, f.W, w.KH, w.KW, stride, pad)
+	return out, st
+}
+
+// ConvolveFull computes the full-convolution buffer for a whole layer via
+// condensed streaming computation.
+func ConvolveFull(f *tensor.FeatureMap, w *tensor.KernelStack, cfg Config) (*tensor.OutputMap, Stats) {
+	cfg = cfg.withDefaults()
+	if f.C != w.C {
+		panic("core: channel mismatch")
+	}
+	tw, th := cfg.TileW, cfg.TileH
+	if tw == 0 {
+		tw = f.W
+	}
+	if th == 0 {
+		th = f.H
+	}
+	global := tensor.NewOutputMap(w.K, tensor.FullConvSize(f.H, w.KH), tensor.FullConvSize(f.W, w.KW))
+	var st Stats
+
+	// Static weight atom streams are per input channel and shared by all
+	// tiles of that channel (weights are compressed offline, once).
+	wstreams := make([][]WeightAtom, f.C)
+	flatK, flatT := FlattenKernels, FlattenTile
+	if cfg.Dense {
+		flatK, flatT = FlattenKernelsDense, FlattenTileDense
+	}
+	for c := 0; c < f.C; c++ {
+		wstreams[c] = CompressWeights(flatK(w, c, nil), w.Bits, cfg.Gran, cfg.Dense)
+		st.WeightAtoms += len(wstreams[c])
+	}
+
+	for _, tl := range tensor.TileGrid(f.W, f.H, tw, th) {
+		tileFull := tensor.NewOutputMap(w.K, tl.H+w.KH-1, tl.W+w.KW-1)
+		for c := 0; c < f.C; c++ {
+			acts := CompressActs(flatT(f, c, tl), f.Bits, cfg.Gran, cfg.Dense)
+			st.ActAtoms += len(acts)
+			r := Intersect(acts, wstreams[c], cfg.Multiplier, w.KH, w.KW, tl.W, tl.H, tileFull)
+			st.Steps += r.Steps
+			st.Products += r.Products
+			st.Rounds += r.Rounds
+			st.SliceDrains += r.SliceDrains
+		}
+		refconv.AddTileFull(global, tileFull, tl)
+	}
+	return global, st
+}
+
+// MultiplyStreaming multiplies one activation by one weight through the 1-D
+// convolution of their dense atom streams, returning the product and the
+// per-step partial sums — the paper's Figure 5 walk-through. The activation
+// stream slides across the static weight stream one atom per step; at each
+// step the atoms in the intersection region multiply in parallel.
+func MultiplyStreaming(a int32, aBits int, wv int32, wBits int, n atom.Granularity) (product int32, stepSums []int32) {
+	aa := atom.DecomposeDense(a, aBits, n)
+	wa := atom.DecomposeDense(wv, wBits-1, n)
+	// Apply the weight's sign to its atoms (sign-magnitude).
+	steps := len(aa) + len(wa) - 1
+	stepSums = make([]int32, steps)
+	for s := 0; s < steps; s++ {
+		var sum int32
+		// At step s, activation atom i aligns with weight atom j = s - i.
+		for i := 0; i < len(aa); i++ {
+			j := s - i
+			if j < 0 || j >= len(wa) {
+				continue
+			}
+			p := int32(aa[i].Mag) * int32(wa[j].Mag) << (aa[i].Shift + wa[j].Shift)
+			if wa[j].Sign {
+				p = -p
+			}
+			sum += p
+		}
+		stepSums[s] = sum
+		product += sum
+	}
+	return product, stepSums
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ristretto/internal/atom"
+	"ristretto/internal/refconv"
+	"ristretto/internal/tensor"
+	"ristretto/internal/workload"
+)
+
+func TestFigure5Multiplication(t *testing.T) {
+	// Paper Figure 5: -11 × 13 as a five-step 1-D convolution between the
+	// 2-atom stream of the 4-bit activation and the 4-atom stream of the
+	// 8-bit weight.
+	product, steps := MultiplyStreaming(13, 4, -11, 8, 2)
+	if product != -143 {
+		t.Fatalf("product = %d, want -143", product)
+	}
+	if len(steps) != 5 {
+		t.Fatalf("%d steps, want 5", len(steps))
+	}
+	var sum int32
+	for _, s := range steps {
+		sum += s
+	}
+	if sum != -143 {
+		t.Fatalf("step sums total %d", sum)
+	}
+	if MulSteps(4, 8, 2) != 5 {
+		t.Fatalf("MulSteps(4,8,2) = %d", MulSteps(4, 8, 2))
+	}
+}
+
+func TestMultiplyStreamingExhaustive(t *testing.T) {
+	for _, gran := range []atom.Granularity{1, 2, 3} {
+		for a := int32(0); a < 16; a++ {
+			for w := int32(-127); w <= 127; w += 7 {
+				p, _ := MultiplyStreaming(a, 4, w, 8, gran)
+				if p != a*w {
+					t.Fatalf("gran=%d %d*%d = %d, want %d", gran, a, w, p, a*w)
+				}
+			}
+		}
+	}
+}
+
+func TestStepsFormula(t *testing.T) {
+	// Eq. 3/4: C = t*ceil(S/N) + ε.
+	cases := []struct{ t, S, N, want int }{
+		{10, 32, 32, 10 + 31}, // one full round, ε = N-1
+		{10, 33, 32, 20 + 0},  // two rounds, last chunk 1 atom, ε = 0
+		{10, 40, 32, 20 + 7},  // last chunk 8, ε = 7
+		{5, 16, 32, 5 + 15},   // S < N: one round of 16, ε = 15
+		{0, 40, 32, 0},
+		{10, 0, 32, 0},
+	}
+	for _, c := range cases {
+		if got := Steps(c.t, c.S, c.N); got != c.want {
+			t.Errorf("Steps(%d,%d,%d) = %d, want %d", c.t, c.S, c.N, got, c.want)
+		}
+	}
+}
+
+func TestFigure6SmallExample(t *testing.T) {
+	// The shape of Figure 6: an 8-bit 2×2 feature-map tile convolved with
+	// two 4-bit 2×2 kernels yields two output tiles. Verify against the
+	// dense reference on the full-convolution buffer.
+	f := tensor.NewFeatureMap(1, 2, 2, 8)
+	f.Set(0, 0, 0, 9)
+	f.Set(0, 0, 1, 0) // a zero value, squeezed out
+	f.Set(0, 1, 0, 68)
+	f.Set(0, 1, 1, 3)
+	w := tensor.NewKernelStack(2, 1, 2, 2, 4)
+	w.Set(0, 0, 0, 0, 5)
+	w.Set(0, 0, 1, 1, -3)
+	w.Set(1, 0, 0, 1, 7)
+	w.Set(1, 0, 1, 0, 1)
+	got, st := ConvolveFull(f, w, Config{Gran: 2, Multiplier: 4})
+	want := refconv.FullConv(f, w)
+	if !got.Equal(want) {
+		t.Fatalf("CSC full conv differs (maxdiff %d)", got.MaxAbsDiff(want))
+	}
+	if st.Products == 0 || st.Steps == 0 {
+		t.Fatal("no work recorded")
+	}
+}
+
+func convCase(t *testing.T, seed int64, c, h, wd, kk, ks, abits, wbits int, gran atom.Granularity, mult, tileW, tileH, stride, pad int, dense bool) {
+	t.Helper()
+	g := workload.NewGen(seed)
+	f := g.FeatureMapExact(c, h, wd, abits, gran, 0.5, 0.7)
+	w := g.KernelsExact(kk, c, ks, ks, wbits, gran, 0.6, 0.7)
+	got, _ := Convolve(f, w, stride, pad, Config{Gran: gran, Multiplier: mult, TileW: tileW, TileH: tileH, Dense: dense})
+	want := refconv.Conv(f, w, stride, pad)
+	if !got.Equal(want) {
+		t.Fatalf("seed=%d mismatch (maxdiff=%d)", seed, got.MaxAbsDiff(want))
+	}
+}
+
+func TestConvolveMatchesReferenceAcrossConfigs(t *testing.T) {
+	// Sweep bit-widths, granularities, multiplier counts, tilings, strides.
+	cfgs := []struct {
+		abits, wbits int
+		gran         atom.Granularity
+		mult         int
+		tw, th       int
+		stride, pad  int
+		dense        bool
+	}{
+		{8, 8, 2, 32, 0, 0, 1, 1, false},
+		{8, 8, 2, 3, 4, 4, 1, 0, false},
+		{4, 4, 2, 8, 5, 3, 2, 1, false},
+		{2, 2, 2, 16, 4, 4, 1, 1, false},
+		{8, 4, 2, 7, 6, 6, 2, 0, false},
+		{4, 8, 2, 32, 0, 0, 1, 2, false},
+		{8, 8, 1, 16, 4, 4, 1, 1, false},
+		{8, 8, 3, 16, 4, 4, 1, 1, false},
+		{6, 6, 2, 16, 0, 0, 1, 1, false},
+		{8, 8, 2, 32, 4, 4, 1, 1, true},
+		{2, 4, 2, 1, 3, 3, 1, 1, false},
+	}
+	for i, c := range cfgs {
+		convCase(t, int64(i+10), 3, 9, 11, 4, 3, c.abits, c.wbits, c.gran, c.mult, c.tw, c.th, c.stride, c.pad, c.dense)
+	}
+}
+
+func TestConvolveRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 20; i++ {
+		abits := []int{2, 4, 8}[rng.Intn(3)]
+		wbits := []int{2, 4, 8}[rng.Intn(3)]
+		gran := atom.Granularity(rng.Intn(3) + 1)
+		convCase(t, int64(1000+i), 1+rng.Intn(4), 4+rng.Intn(8), 4+rng.Intn(8),
+			1+rng.Intn(5), 1+rng.Intn(3)*2, abits, wbits, gran,
+			1+rng.Intn(40), 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(2), rng.Intn(3), false)
+	}
+}
+
+func TestStreamShuffleInvariance(t *testing.T) {
+	// Characteristic 3 (Section III-B): reordering atoms within a stream
+	// does not change the result, because every atom of one stream meets
+	// every atom of the other.
+	g := workload.NewGen(5)
+	f := g.FeatureMapExact(1, 4, 4, 8, 2, 0.7, 0.7)
+	w := g.KernelsExact(3, 1, 3, 3, 8, 2, 0.7, 0.7)
+	acts := CompressActs(FlattenTile(f, 0, tensor.Tile{W: 4, H: 4}), 8, 2, false)
+	weights := CompressWeights(FlattenKernels(w, 0, nil), 8, 2, false)
+	ref := tensor.NewOutputMap(3, 6, 6)
+	Intersect(acts, weights, 8, 3, 3, 4, 4, ref)
+
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		sa := append([]ActAtom(nil), acts...)
+		sw := append([]WeightAtom(nil), weights...)
+		rng.Shuffle(len(sa), func(i, j int) { sa[i], sa[j] = sa[j], sa[i] })
+		rng.Shuffle(len(sw), func(i, j int) { sw[i], sw[j] = sw[j], sw[i] })
+		got := tensor.NewOutputMap(3, 6, 6)
+		Intersect(sa, sw, 8, 3, 3, 4, 4, got)
+		if !got.Equal(ref) {
+			t.Fatalf("trial %d: shuffled streams changed the result", trial)
+		}
+	}
+}
+
+func TestConstantInputBandwidth(t *testing.T) {
+	// Characteristic 1: the intersection consumes exactly one activation
+	// atom per step regardless of bit-width — steps per round equals the
+	// activation stream length, so Steps() scales with t, not with t×bits.
+	for _, bits := range []int{2, 4, 8} {
+		g := workload.NewGen(int64(bits))
+		f := g.FeatureMapExact(1, 8, 8, bits, 2, 1.0, 1.0)
+		acts := CompressActs(FlattenTile(f, 0, tensor.Tile{W: 8, H: 8}), bits, 2, false)
+		// One full round on N >= S: steps = t + ε.
+		S, N := 16, 16
+		want := len(acts) + S - 1
+		if got := Steps(len(acts), S, N); got != want {
+			t.Fatalf("bits=%d Steps=%d want %d", bits, got, want)
+		}
+	}
+}
+
+func TestStepPredictorMatchesCharacteristic2(t *testing.T) {
+	// Characteristic 2: step count is determined solely by stream lengths.
+	// Intersect must report exactly Steps(t,S,N).
+	g := workload.NewGen(6)
+	f := g.FeatureMapExact(1, 5, 7, 8, 2, 0.4, 0.6)
+	w := g.KernelsExact(2, 1, 3, 3, 8, 2, 0.5, 0.6)
+	acts := CompressActs(FlattenTile(f, 0, tensor.Tile{W: 7, H: 5}), 8, 2, false)
+	weights := CompressWeights(FlattenKernels(w, 0, nil), 8, 2, false)
+	for _, n := range []int{1, 3, 8, 32, 100} {
+		out := tensor.NewOutputMap(2, 7, 9)
+		r := Intersect(acts, weights, n, 3, 3, 7, 5, out)
+		if r.Steps != Steps(len(acts), len(weights), n) {
+			t.Fatalf("n=%d Steps %d != predictor %d", n, r.Steps, Steps(len(acts), len(weights), n))
+		}
+		if r.Products != len(acts)*len(weights) {
+			t.Fatalf("n=%d products %d != t*S %d", n, r.Products, len(acts)*len(weights))
+		}
+	}
+}
+
+func TestCompressWeightsSliceGrouping(t *testing.T) {
+	// Stream shuffle (Figure 9): atoms must be ordered by slice (shift),
+	// non-decreasing across the stream.
+	g := workload.NewGen(7)
+	w := g.KernelsExact(4, 1, 3, 3, 8, 2, 0.8, 0.8)
+	ws := CompressWeights(FlattenKernels(w, 0, nil), 8, 2, false)
+	for i := 1; i < len(ws); i++ {
+		if ws[i].Shift < ws[i-1].Shift {
+			t.Fatalf("slice grouping violated at %d: %v after %v", i, ws[i], ws[i-1])
+		}
+	}
+}
+
+func TestCompressWeightsChannelFirst(t *testing.T) {
+	// Within a slice, consecutive atoms should rotate across output
+	// channels (channel-first mapping eliminates bank contention).
+	w := tensor.NewKernelStack(4, 1, 1, 1, 4)
+	for k := 0; k < 4; k++ {
+		w.Set(k, 0, 0, 0, 5) // 0b101: atoms at shift 0 and 2
+	}
+	ws := CompressWeights(FlattenKernels(w, 0, nil), 4, 2, false)
+	if len(ws) != 8 {
+		t.Fatalf("got %d atoms", len(ws))
+	}
+	for i := 0; i < 4; i++ {
+		if ws[i].K != uint16(i) || ws[i].Shift != 0 {
+			t.Fatalf("slice 0 not channel-first: %+v", ws[:4])
+		}
+		if ws[4+i].K != uint16(i) || ws[4+i].Shift != 2 {
+			t.Fatalf("slice 1 not channel-first: %+v", ws[4:])
+		}
+	}
+}
+
+func TestDenseModeStreamsAllAtoms(t *testing.T) {
+	f := tensor.NewFeatureMap(1, 2, 2, 8)
+	f.Set(0, 0, 0, 1) // one non-zero value
+	acts := CompressActs(FlattenTile(f, 0, tensor.Tile{W: 2, H: 2}), 8, 2, true)
+	// Dense mode still excludes zero *values* (they were removed by
+	// flattening) but keeps zero atoms: 4 atoms for the one value.
+	if len(acts) != 4 {
+		t.Fatalf("dense act stream length %d, want 4", len(acts))
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"ristretto/internal/tensor"
+)
+
+// OutCoord applies Eq. (1): the full-convolution output coordinate of the
+// product between a weight at kernel position (xw,yw) and an activation at
+// tile position (xin,yin), for a kh×kw kernel window.
+func OutCoord(xw, yw, xin, yin, kh, kw int) (xout, yout int) {
+	return kw - 1 - xw + xin, kh - 1 - yw + yin
+}
+
+// OutAddr applies Eq. (2): the linear accumulate-buffer address of a full-
+// convolution coordinate for a tile of input width tileW.
+func OutAddr(xout, yout, tileW, kw int) int {
+	return yout*(tileW+kw-1) + xout
+}
+
+// IntersectResult reports what one tile/channel intersection produced.
+type IntersectResult struct {
+	Steps       int // intersection steps actually taken
+	Products    int // atom multiplications performed
+	Deliveries  int // accumulator deliveries into the Atomulator (last flags)
+	Rounds      int // static-stream reloads (ceil(S/N))
+	SliceDrains int // accumulate-bank drain events (decoupled weight shift)
+}
+
+// Intersect performs the intersection phase functionally: the weight atom
+// stream is split into static chunks of at most n atoms; for each chunk the
+// activation atom stream slides across it, every (activation atom, weight
+// atom) pair multiplies once, and products accumulate into the full-
+// convolution buffer out (K × (tileH+kh-1) × (tileW+kw-1)).
+//
+// The implementation mirrors the decoupled-shift microarchitecture: products
+// are aligned by the activation shift when computed, accumulated per
+// (channel, address) bank, and the weight-slice shift is applied when a
+// slice's bank drains. Because CompressWeights emits slice-homogeneous
+// groups, every chunk is drained with a single well-defined slice shift.
+func Intersect(acts []ActAtom, weights []WeightAtom, n int, kh, kw, tileW, tileH int, out *tensor.OutputMap) IntersectResult {
+	if n <= 0 {
+		panic("core: need at least one multiplier")
+	}
+	var res IntersectResult
+	fullW := tileW + kw - 1
+	fullH := tileH + kh - 1
+	if out.W != fullW || out.H != fullH {
+		panic(fmt.Sprintf("core: output buffer %dx%d, want full-conv %dx%d", out.W, out.H, fullW, fullH))
+	}
+	if len(acts) == 0 || len(weights) == 0 {
+		return res
+	}
+	// Accumulate banks: one per (output channel, address), holding the
+	// slice-unshifted partial sums of the current chunk.
+	type bankKey struct {
+		k    uint16
+		addr int
+	}
+	for start := 0; start < len(weights); start += n {
+		end := start + n
+		if end > len(weights) {
+			end = len(weights)
+		}
+		chunk := weights[start:end]
+		res.Rounds++
+		// All atoms in a chunk must share a slice shift for the decoupled
+		// drain; CompressWeights guarantees slice-major order, but a chunk
+		// can straddle a slice boundary, so drain per distinct shift.
+		banks := map[uint8]map[bankKey]int32{}
+		for _, a := range acts {
+			for _, w := range chunk {
+				res.Products++
+				p := int32(w.Mag) * (int32(a.Mag) << a.Shift)
+				if w.Sign {
+					p = -p
+				}
+				xo, yo := OutCoord(int(w.X), int(w.Y), int(a.X), int(a.Y), kh, kw)
+				if xo < 0 || xo >= fullW || yo < 0 || yo >= fullH {
+					continue // comp module: out-of-boundary products dropped
+				}
+				if a.Last {
+					res.Deliveries++
+				}
+				b := banks[w.Shift]
+				if b == nil {
+					b = map[bankKey]int32{}
+					banks[w.Shift] = b
+				}
+				b[bankKey{w.K, OutAddr(xo, yo, tileW, kw)}] += p
+			}
+		}
+		// Drain: apply the decoupled weight-slice shift while aggregating
+		// into the output buffer.
+		for shift, b := range banks {
+			res.SliceDrains++
+			for key, v := range b {
+				yo := key.addr / fullW
+				xo := key.addr % fullW
+				out.Add(int(key.k), yo, xo, v<<shift)
+			}
+		}
+		// Steps: the activation stream replays once per round; the final
+		// chunk adds its pipeline drain (Eq. 3/4 accounting happens in
+		// Steps(); here we track the same total).
+	}
+	res.Steps = Steps(len(acts), len(weights), n)
+	return res
+}
+
+// MulSteps reports the number of 1-D convolution steps needed to multiply an
+// aBits-bit unsigned activation by a wBits-bit signed weight at granularity n
+// with dense atom streams — the Figure 5 example takes len(a)+len(w)-1 = 5
+// steps for 4b×8b at 2-bit atoms. The weight stream covers the wBits-1
+// magnitude bits (sign-magnitude).
+func MulSteps(aBits, wBits int, n int) int {
+	la := (aBits + n - 1) / n
+	lw := (wBits - 1 + n - 1) / n
+	return la + lw - 1
+}

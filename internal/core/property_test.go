@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ristretto/internal/atom"
+	"ristretto/internal/refconv"
+	"ristretto/internal/tensor"
+	"ristretto/internal/workload"
+)
+
+// Property: for arbitrary small sparse operands and arbitrary CSC
+// configuration, Convolve is bit-exact against the dense reference.
+func TestConvolveEquivalenceProperty(t *testing.T) {
+	f := func(seed int64, cfgBits uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gran := atom.Granularity(int(cfgBits%3) + 1)
+		mult := int(cfgBits>>2)%15 + 1
+		abits := []int{2, 4, 8}[int(cfgBits>>6)%3]
+		wbits := []int{2, 4, 8}[int(cfgBits>>8)%3]
+		stride := int(cfgBits>>10)%2 + 1
+		pad := int(cfgBits>>11) % 2
+		g := workload.NewGen(seed)
+		c := rng.Intn(3) + 1
+		h := rng.Intn(5) + 3
+		wd := rng.Intn(5) + 3
+		k := rng.Intn(3) + 1
+		ks := rng.Intn(2)*2 + 1
+		fm := g.FeatureMapExact(c, h, wd, abits, gran, 0.5, 0.7)
+		kr := g.KernelsExact(k, c, ks, ks, wbits, gran, 0.6, 0.7)
+		got, _ := Convolve(fm, kr, stride, pad, Config{Gran: gran, Multiplier: mult})
+		want := refconv.Conv(fm, kr, stride, pad)
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the number of products Intersect performs always equals the
+// product of the stream lengths (every atom meets every atom), regardless
+// of multiplier count.
+func TestIntersectProductCountProperty(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		g := workload.NewGen(seed)
+		n := int(n8)%40 + 1
+		fm := g.FeatureMapExact(1, 5, 5, 8, 2, 0.5, 0.7)
+		kr := g.KernelsExact(2, 1, 3, 3, 8, 2, 0.5, 0.7)
+		acts := CompressActs(FlattenTile(fm, 0, tensor.Tile{W: 5, H: 5}), 8, 2, false)
+		ws := CompressWeights(FlattenKernels(kr, 0, nil), 8, 2, false)
+		out := tensor.NewOutputMap(2, 7, 7)
+		r := Intersect(acts, ws, n, 3, 3, 5, 5, out)
+		return r.Products == len(acts)*len(ws) && r.Steps == Steps(len(acts), len(ws), n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: splitting the weight stream across two intersections (as the
+// ping-pong rounds do) accumulates to the same output as one intersection —
+// linearity of the outer product.
+func TestIntersectSplitLinearityProperty(t *testing.T) {
+	f := func(seed int64, cut8 uint8) bool {
+		g := workload.NewGen(seed)
+		fm := g.FeatureMapExact(1, 4, 6, 8, 2, 0.6, 0.7)
+		kr := g.KernelsExact(3, 1, 3, 3, 8, 2, 0.6, 0.7)
+		acts := CompressActs(FlattenTile(fm, 0, tensor.Tile{W: 6, H: 4}), 8, 2, false)
+		ws := CompressWeights(FlattenKernels(kr, 0, nil), 8, 2, false)
+		if len(ws) == 0 {
+			return true
+		}
+		cut := int(cut8) % len(ws)
+		whole := tensor.NewOutputMap(3, 6, 8)
+		Intersect(acts, ws, 8, 3, 3, 6, 4, whole)
+		split := tensor.NewOutputMap(3, 6, 8)
+		Intersect(acts, ws[:cut], 8, 3, 3, 6, 4, split)
+		Intersect(acts, ws[cut:], 8, 3, 3, 6, 4, split)
+		return whole.Equal(split)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MultiplyStreaming is a complete multiplier for all operand
+// ranges and granularities.
+func TestMultiplyStreamingProperty(t *testing.T) {
+	f := func(a8 uint8, w16 int16, granSeed uint8) bool {
+		gran := atom.Granularity(granSeed%3 + 1)
+		a := int32(a8)
+		w := int32(w16 % 128)
+		p, steps := MultiplyStreaming(a, 8, w, 8, gran)
+		return p == a*w && len(steps) == MulSteps(8, 8, int(gran))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CompressActs emits atoms grouped per value with exactly one Last
+// flag per non-zero value, in stream order.
+func TestCompressActsStructureProperty(t *testing.T) {
+	f := func(seed int64, bits8 uint8) bool {
+		bits := []int{2, 4, 8}[bits8%3]
+		g := workload.NewGen(seed)
+		fm := g.FeatureMapExact(1, 6, 6, bits, 2, 0.5, 0.7)
+		elems := FlattenTile(fm, 0, tensor.Tile{W: 6, H: 6})
+		atoms := CompressActs(elems, bits, 2, false)
+		lasts := 0
+		for _, a := range atoms {
+			if a.Last {
+				lasts++
+			}
+		}
+		if lasts != len(elems) {
+			return false
+		}
+		// Reconstruct each value from its contiguous atom run.
+		i := 0
+		for _, e := range elems {
+			var v int32
+			for {
+				a := atoms[i]
+				v += int32(a.Mag) << a.Shift
+				i++
+				if a.Last {
+					break
+				}
+			}
+			if v != e.Val {
+				return false
+			}
+		}
+		return i == len(atoms)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

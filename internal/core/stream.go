@@ -1,0 +1,217 @@
+// Package core implements condensed streaming computation (CSC), the paper's
+// primary contribution (Section III): a unified dataflow in which high-level
+// sparse convolution and low-level mixed-precision multiplication are both
+// expressed as the outer product of compact non-zero atom streams.
+//
+// The pipeline has three phases:
+//
+//  1. Flattening — feature-map tiles and kernels are reshaped into 1-D value
+//     streams in zigzag order, each element carrying its spatial coordinates
+//     and channel index as metadata.
+//  2. Compression — zero values and zero atoms are squeezed out, producing
+//     compact atom streams whose elements carry shift offsets, sign bits and
+//     last-atom flags.
+//  3. Intersection — a 1-D convolution between the static weight atom stream
+//     and the sliding activation atom stream; partial products are aligned by
+//     the activation shift immediately and by the weight-slice shift at
+//     aggregation time (decoupled shift, Section IV-C2).
+//
+// The functional implementation here is bit-exact against the dense reference
+// convolution; the cycle-accurate microarchitecture lives in
+// internal/ristretto and reuses these streams.
+package core
+
+import (
+	"ristretto/internal/atom"
+	"ristretto/internal/tensor"
+)
+
+// ActElem is one non-zero activation value in a flattened tile stream, with
+// its tile-relative coordinates.
+type ActElem struct {
+	Val  int32
+	X, Y uint8
+}
+
+// WeightElem is one non-zero weight in a flattened kernel stream: kernel-
+// window coordinates plus the output channel it contributes to. The input
+// channel is implicit (streams are built per input channel).
+type WeightElem struct {
+	Val  int32
+	X, Y uint8
+	K    uint16
+}
+
+// ActAtom is one non-zero atom of an activation, as produced by the Atomizer:
+// the 2-bit (or 1/3-bit) digit, its shift offset, the last-atom flag, and the
+// owning activation's coordinates. Activation atoms are unsigned (ReLU).
+type ActAtom struct {
+	Mag   uint8
+	Shift uint8
+	Last  bool
+	X, Y  uint8
+}
+
+// WeightAtom is one non-zero atom of a weight in the static stream: digit,
+// shift offset (its slice), sign, the kernel-window coordinates and output
+// channel of the owning weight.
+type WeightAtom struct {
+	Mag   uint8
+	Shift uint8
+	Sign  bool
+	X, Y  uint8
+	K     uint16
+}
+
+// FlattenTile extracts the non-zero activations of channel c within tile tl
+// in zigzag (row-major) order — phase 1 for feature maps. Coordinates are
+// tile-relative, as in the block COO-2D format.
+func FlattenTile(f *tensor.FeatureMap, c int, tl tensor.Tile) []ActElem {
+	return flattenTile(f, c, tl, false)
+}
+
+// FlattenTileDense keeps zero values too — the Ristretto-ns configuration,
+// which disables sparsity entirely to isolate its contribution (Section V-B).
+func FlattenTileDense(f *tensor.FeatureMap, c int, tl tensor.Tile) []ActElem {
+	return flattenTile(f, c, tl, true)
+}
+
+func flattenTile(f *tensor.FeatureMap, c int, tl tensor.Tile, dense bool) []ActElem {
+	var out []ActElem
+	for y := 0; y < tl.H; y++ {
+		for x := 0; x < tl.W; x++ {
+			if v := f.At(c, tl.Y0+y, tl.X0+x); v != 0 || dense {
+				out = append(out, ActElem{Val: v, X: uint8(x), Y: uint8(y)})
+			}
+		}
+	}
+	return out
+}
+
+// FlattenKernels extracts the non-zero weights of input channel c across the
+// given output channels (nil = all), ordered output-channel-first — phase 1
+// for kernels. In Ristretto this happens offline.
+func FlattenKernels(w *tensor.KernelStack, c int, outChans []int) []WeightElem {
+	return flattenKernels(w, c, outChans, false)
+}
+
+// FlattenKernelsDense keeps zero weights too (Ristretto-ns).
+func FlattenKernelsDense(w *tensor.KernelStack, c int, outChans []int) []WeightElem {
+	return flattenKernels(w, c, outChans, true)
+}
+
+func flattenKernels(w *tensor.KernelStack, c int, outChans []int, dense bool) []WeightElem {
+	if outChans == nil {
+		outChans = make([]int, w.K)
+		for i := range outChans {
+			outChans[i] = i
+		}
+	}
+	var out []WeightElem
+	for _, k := range outChans {
+		for y := 0; y < w.KH; y++ {
+			for x := 0; x < w.KW; x++ {
+				if v := w.At(k, c, y, x); v != 0 || dense {
+					out = append(out, WeightElem{Val: v, X: uint8(x), Y: uint8(y), K: uint16(k)})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CompressActs decomposes a flattened activation stream into its non-zero
+// atom stream — phase 2, performed on the fly by the Atomizer in hardware.
+// With dense set, zero atoms of non-zero values are kept (Ristretto-ns).
+func CompressActs(elems []ActElem, bits int, n atom.Granularity, dense bool) []ActAtom {
+	var out []ActAtom
+	for _, e := range elems {
+		var atoms []atom.Atom
+		if dense {
+			atoms = atom.DecomposeDense(e.Val, bits, n)
+		} else {
+			atoms = atom.Decompose(e.Val, bits, n)
+		}
+		for _, a := range atoms {
+			out = append(out, ActAtom{Mag: a.Mag, Shift: a.Shift, Last: a.Last, X: e.X, Y: e.Y})
+		}
+	}
+	return out
+}
+
+// CompressWeights decomposes a flattened weight stream into its non-zero atom
+// stream with the stream shuffle of Figure 9 applied: atoms are grouped by
+// slice (identical shift offset) so the weight shift can be decoupled into
+// the accumulate-buffer drain, and within a slice they are ordered output-
+// channel-first so concurrent products target distinct accumulate banks.
+// Magnitudes use bits-1 bits (sign-magnitude).
+func CompressWeights(elems []WeightElem, bits int, n atom.Granularity, dense bool) []WeightAtom {
+	slices := n.Count(bits - 1)
+	bySlice := make([][]WeightAtom, slices)
+	for _, e := range elems {
+		var atoms []atom.Atom
+		if dense {
+			atoms = atom.DecomposeDense(e.Val, bits-1, n)
+		} else {
+			atoms = atom.Decompose(e.Val, bits-1, n)
+		}
+		for _, a := range atoms {
+			s := int(a.Shift) / int(n)
+			bySlice[s] = append(bySlice[s], WeightAtom{
+				Mag: a.Mag, Shift: a.Shift, Sign: a.Sign, X: e.X, Y: e.Y, K: e.K,
+			})
+		}
+	}
+	var out []WeightAtom
+	for _, s := range bySlice {
+		// Channel-first: interleave by output channel so adjacent stream
+		// slots hit different accumulate banks. Stable counting sort by K
+		// position within channel, then round-robin across channels.
+		byChan := map[uint16][]WeightAtom{}
+		var order []uint16
+		for _, a := range s {
+			if _, ok := byChan[a.K]; !ok {
+				order = append(order, a.K)
+			}
+			byChan[a.K] = append(byChan[a.K], a)
+		}
+		for i := 0; ; i++ {
+			emitted := false
+			for _, k := range order {
+				if i < len(byChan[k]) {
+					out = append(out, byChan[k][i])
+					emitted = true
+				}
+			}
+			if !emitted {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// StreamLengths summarizes the compressed stream lengths that determine CSC
+// latency (Section III-B characteristics).
+type StreamLengths struct {
+	ActAtoms    int // t: non-zero activation atoms in the sliding stream
+	WeightAtoms int // S: non-zero weight atoms in the static stream
+}
+
+// Steps returns the exact number of intersection steps for streams of t
+// activation atoms against S weight atoms on N multipliers — the paper's
+// Eq. (3) with the ε of Eq. (4): the static stream is split into ceil(S/N)
+// rounds, the activation stream replays once per round, and the ping-pong
+// weight registers overlap all round transitions except the final drain.
+func Steps(t, S, N int) int {
+	if t == 0 || S == 0 {
+		return 0
+	}
+	rounds := (S + N - 1) / N
+	eps := S % N
+	if eps == 0 {
+		eps = N
+	}
+	eps--
+	return t*rounds + eps
+}

@@ -1,0 +1,152 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableVITotal(t *testing.T) {
+	// Paper Table VI: total 1.296 mm².
+	if got := TableVI().Total(); math.Abs(got-1.296) > 1e-9 {
+		t.Fatalf("Table VI total = %v, want 1.296", got)
+	}
+}
+
+func TestRistrettoAreaAnchor(t *testing.T) {
+	got := RistrettoArea(32, 32, 2)
+	want := TableVI()
+	if math.Abs(got.Total()-want.Total()) > 1e-9 {
+		t.Fatalf("anchor config area %v != Table VI %v", got.Total(), want.Total())
+	}
+}
+
+func TestRistrettoAreaScaling(t *testing.T) {
+	half := RistrettoArea(32, 16, 2)
+	full := RistrettoArea(32, 32, 2)
+	if half.Atomputer >= full.Atomputer {
+		t.Fatal("halving multipliers must shrink the Atomputer")
+	}
+	if half.InputBuf != full.InputBuf {
+		t.Fatal("buffer area should not depend on multiplier count")
+	}
+}
+
+func TestGranularityAreaOrdering(t *testing.T) {
+	// Figure 19a: at matched BitOps (64×1b, 16×2b, 7×3b per tile), the 1-bit
+	// variant is ~3.34× the 2-bit area, the 3-bit the smallest.
+	a1 := RistrettoArea(32, 64, 1)
+	a2 := RistrettoArea(32, 16, 2)
+	a3 := RistrettoArea(32, 7, 3)
+	c1 := a1.Atomputer + a1.Atomulator + a1.AccBuffer
+	c2 := a2.Atomputer + a2.Atomulator + a2.AccBuffer
+	c3 := a3.Atomputer + a3.Atomulator + a3.AccBuffer
+	if !(c3 < c2 && c2 < c1) {
+		t.Fatalf("compute area ordering wrong: 1b=%v 2b=%v 3b=%v", c1, c2, c3)
+	}
+	if r := c1 / c2; math.Abs(r-3.34) > 0.2 {
+		t.Fatalf("1-bit/2-bit compute area ratio %v, want ≈3.34", r)
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{AtomMuls: 1, DRAMBytes: 2, InputBufBytes: 3}
+	a.Add(Counters{AtomMuls: 10, DRAMBytes: 20, AccBufBytes: 5})
+	if a.AtomMuls != 11 || a.DRAMBytes != 22 || a.AccBufBytes != 5 || a.InputBufBytes != 3 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}
+
+func TestTotalMatchesSplit(t *testing.T) {
+	m := Default()
+	c := Counters{
+		AtomMuls: 100, MAC8: 50, Fusion2b: 30, TermOps: 20, InnerJoin: 10,
+		AtomizerOps: 5, InputBufBytes: 1000, WeightBufBytes: 500,
+		OutputBufBytes: 200, AccBufBytes: 300, DRAMBytes: 50,
+	}
+	if math.Abs(m.TotalPJ(c)-m.Split(c).Total()) > 1e-9 {
+		t.Fatal("TotalPJ disagrees with Split().Total()")
+	}
+	if m.Split(c).OffChipPJ != 50*m.DRAMPJPerB {
+		t.Fatal("off-chip energy wrong")
+	}
+}
+
+func TestSRAMEnergyGrowsWithCapacity(t *testing.T) {
+	small := SRAMAccessPJPerByte(8 << 10)
+	big := SRAMAccessPJPerByte(512 << 10)
+	if small >= big {
+		t.Fatal("SRAM energy must grow with capacity")
+	}
+	if small <= 0 {
+		t.Fatal("SRAM energy must be positive")
+	}
+}
+
+func TestDRAMDominatesSRAM(t *testing.T) {
+	m := Default()
+	if m.DRAMPJPerB < 10*m.SRAMPJPerB {
+		t.Fatalf("DRAM (%v) should cost much more than SRAM (%v) per byte", m.DRAMPJPerB, m.SRAMPJPerB)
+	}
+}
+
+func TestModelForGranularity(t *testing.T) {
+	m1 := ModelForGranularity(1)
+	m2 := ModelForGranularity(2)
+	m3 := ModelForGranularity(3)
+	// Per-BitOp cost: a 1-bit op covers 1 BitOp, a 2-bit op 4, a 3-bit op 9.
+	perBit1 := m1.AtomMulPJ / 1
+	perBit2 := m2.AtomMulPJ / 4
+	perBit3 := m3.AtomMulPJ / 9
+	if !(perBit3 < perBit2 && perBit2 < perBit1) {
+		t.Fatalf("per-BitOp energy should fall with granularity: %v %v %v", perBit1, perBit2, perBit3)
+	}
+}
+
+func TestBaselineAreas(t *testing.T) {
+	if BitFusionArea(64) <= 0 || LaconicArea(48) <= 0 {
+		t.Fatal("non-positive baseline area")
+	}
+	st := SparTenArea(32, false)
+	mp := SparTenArea(32, true)
+	if mp <= st {
+		t.Fatal("SparTen-mp must be larger than SparTen (16 inner-joins)")
+	}
+	// Inner-join dominance: >60% of a plain CU.
+	if 0.011/(0.011+0.006) < 0.60 {
+		t.Fatal("inner-join share below the paper's 60%")
+	}
+}
+
+func TestGranularityPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { ModelForGranularity(4) },
+		func() { GranularityFactors(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic for unsupported granularity")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWeightPassAmplification(t *testing.T) {
+	if WeightPassAmplification(100, 0) != 1 {
+		t.Fatal("small weights must not amplify")
+	}
+	if got := WeightPassAmplification(600<<10, 0); got != 3 {
+		t.Fatalf("600KiB over 256KiB buffer = %d passes, want 3", got)
+	}
+	if WeightPassAmplification(10, 4) != 3 {
+		t.Fatal("explicit capacity not honoured")
+	}
+}
+
+func TestSRAMZeroCapacity(t *testing.T) {
+	if SRAMAccessPJPerByte(0) != 0.2 {
+		t.Fatalf("zero-capacity SRAM should cost just the decode floor, got %v", SRAMAccessPJPerByte(0))
+	}
+}

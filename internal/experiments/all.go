@@ -1,0 +1,16 @@
+package experiments
+
+// All runs every regenerated table and figure in paper order.
+func (b *Bench) All() []*Result {
+	var out []*Result
+	out = append(out, b.Figure1())
+	out = append(out, Taxonomy()...)
+	out = append(out, b.Figure4())
+	out = append(out, TableIV(), TableVI())
+	out = append(out,
+		b.Figure12(), b.Figure13(), b.Figure14(), b.Figure15(),
+		b.Figure16(), b.Figure17(), b.Figure18(), b.Figure19a(), b.Figure19b(),
+	)
+	out = append(out, b.Extensions()...)
+	return out
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"ristretto/internal/atom"
+	"ristretto/internal/model"
+	"ristretto/internal/workload"
+)
+
+// Bench owns the shared state of an experiment run: the benchmark networks,
+// a deterministic seed, an optional spatial scale-down for quick runs, and a
+// cache of generated layer statistics so each (network, precision,
+// granularity) workload is synthesized once.
+type Bench struct {
+	Seed  int64
+	Scale int      // divide layer H/W by this (1 = paper scale); densities are unaffected
+	Nets  []string // restrict to these networks (nil = full benchmark)
+
+	cache map[string][]workload.LayerStats
+}
+
+// NewBench returns a Bench at full scale.
+func NewBench(seed int64) *Bench {
+	return &Bench{Seed: seed, Scale: 1, cache: map[string][]workload.LayerStats{}}
+}
+
+// NewQuickBench returns a Bench with spatial dimensions divided by scale —
+// cycle counts shrink proportionally but every ratio the figures report is
+// preserved, because densities and per-value statistics do not change.
+func NewQuickBench(seed int64, scale int) *Bench {
+	b := NewBench(seed)
+	b.Scale = scale
+	return b
+}
+
+// PrecisionNames are the four quantization settings of the evaluation.
+var PrecisionNames = []string{"8b", "4b", "2b", "mix2/4"}
+
+// precisionOf maps a name to a per-layer assignment.
+func precisionOf(n *model.Network, name string, seed int64) (model.Precision, error) {
+	switch name {
+	case "8b":
+		return model.Uniform(n, 8), nil
+	case "4b":
+		return model.Uniform(n, 4), nil
+	case "2b":
+		return model.Uniform(n, 2), nil
+	case "mix2/4":
+		return model.Mixed24(n, uint64(seed)), nil
+	}
+	return model.Precision{}, fmt.Errorf("experiments: unknown precision %q", name)
+}
+
+// scaled returns the network with spatial dimensions divided by the bench
+// scale (clamped so every layer still produces output).
+func (b *Bench) scaled(n *model.Network) *model.Network {
+	if b.Scale <= 1 {
+		return n
+	}
+	s := &model.Network{Name: n.Name}
+	for _, l := range n.Layers {
+		l.H = clampDim(l.H/b.Scale, l.KH, l.Stride, l.Pad)
+		l.W = clampDim(l.W/b.Scale, l.KW, l.Stride, l.Pad)
+		s.Layers = append(s.Layers, l)
+	}
+	return s
+}
+
+func clampDim(d, k, stride, pad int) int {
+	min := k + stride // guarantee at least a couple of output positions
+	if d < min {
+		return min
+	}
+	return d
+}
+
+// Stats returns (cached) layer statistics for a network under a precision
+// name at the given atom granularity.
+func (b *Bench) Stats(n *model.Network, precision string, gran atom.Granularity) []workload.LayerStats {
+	key := fmt.Sprintf("%s|%s|%d|%d|%d", n.Name, precision, gran, b.Seed, b.Scale)
+	if s, ok := b.cache[key]; ok {
+		return s
+	}
+	sn := b.scaled(n)
+	p, err := precisionOf(sn, precision, b.Seed)
+	if err != nil {
+		panic(err)
+	}
+	g := workload.NewGen(b.Seed ^ int64(hash(key)))
+	s := g.NetworkStats(sn, p, gran, true)
+	b.cache[key] = s
+	return s
+}
+
+// Networks returns the benchmark networks of the paper (or the configured
+// subset).
+func (b *Bench) Networks() []*model.Network {
+	all := model.Benchmark()
+	if b.Nets == nil {
+		return all
+	}
+	var out []*model.Network
+	for _, n := range all {
+		for _, want := range b.Nets {
+			if n.Name == want {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+func hash(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// geomean returns the geometric mean of positive values.
+func geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vs)))
+}

@@ -1,0 +1,309 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ristretto/internal/atom"
+	"ristretto/internal/balance"
+	"ristretto/internal/baselines/bitfusion"
+	"ristretto/internal/baselines/laconic"
+	"ristretto/internal/baselines/sparten"
+	"ristretto/internal/energy"
+	"ristretto/internal/model"
+	"ristretto/internal/ristretto"
+	"ristretto/internal/workload"
+)
+
+// Matched configurations of Section V:
+//   - vs Bit Fusion: equal 2-bit multiplier counts — Ristretto 32 tiles × 32
+//     mults vs an 8×8 fusion-unit array (1024 each).
+//   - vs Laconic: equal compute area — Ristretto 32 × 16 vs 6×8 PEs × 16.
+//   - vs SparTen: equal peak BitOps/cycle — Ristretto 32 × 16 vs 32 CUs.
+func ristrettoVsBitFusion() ristretto.Config {
+	return ristretto.Config{Tiles: 32, Tile: ristretto.TileConfig{Mults: 32, Gran: 2}, Policy: balance.WeightAct}
+}
+
+func ristrettoVsLaconic() ristretto.Config {
+	return ristretto.Config{Tiles: 32, Tile: ristretto.TileConfig{Mults: 16, Gran: 2}, Policy: balance.WeightAct}
+}
+
+// Figure12 compares area-normalized performance against Bit Fusion on the
+// six networks at 8/4/2-bit and mixed 2/4-bit precision, including the
+// sparsity-disabled Ristretto-ns variant.
+func (b *Bench) Figure12() *Result {
+	r := &Result{
+		ID:     "Figure 12",
+		Title:  "performance vs Bit Fusion (normalized to Bit Fusion, area-normalized)",
+		Header: []string{"network", "precision", "Ristretto", "Ristretto-ns", "Bit Fusion"},
+		Notes:  "paper averages: 8.2x / 7.47x / 7.13x / 6.73x at 8/4/2/mixed bits; Ristretto-ns ≈ Bit Fusion",
+	}
+	rcfg := ristrettoVsBitFusion()
+	nscfg := rcfg
+	nscfg.Dense = true
+	bfcfg := bitfusion.DefaultConfig()
+	areaR := energy.RistrettoArea(rcfg.Tiles, rcfg.Tile.Mults, int(rcfg.Tile.Gran)).Total()
+	areaBF := bitfusion.DefaultConfig().Units()
+	_ = areaBF
+	areaB := energy.BitFusionArea(bfcfg.Units())
+	for _, prec := range PrecisionNames {
+		var sp, spNS []float64
+		for _, n := range b.Networks() {
+			stats := b.Stats(n, prec, rcfg.Tile.Gran)
+			cr := ristretto.EstimateNetwork(stats, rcfg).Cycles
+			cns := ristretto.EstimateNetwork(stats, nscfg).Cycles
+			cbf, _ := bitfusion.EstimateNetwork(stats, bfcfg)
+			s := areaNormSpeedup(cbf, areaB, cr, areaR)
+			sns := areaNormSpeedup(cbf, areaB, cns, areaR)
+			sp = append(sp, s)
+			spNS = append(spNS, sns)
+			r.AddRow(n.Name, prec, f2(s), f2(sns), "1.00")
+		}
+		r.AddRow("geomean", prec, f2(geomean(sp)), f2(geomean(spNS)), "1.00")
+	}
+	return r
+}
+
+// areaNormSpeedup returns (perf/area of the contender) / (perf/area of the
+// baseline): cyclesBase/cyclesNew × areaBase/areaNew.
+func areaNormSpeedup(cyclesBase int64, areaBase float64, cyclesNew int64, areaNew float64) float64 {
+	return (float64(cyclesBase) / float64(cyclesNew)) * (areaBase / areaNew)
+}
+
+// Figure13 compares energy consumption against Bit Fusion (normalized to
+// Bit Fusion) averaged over the six networks per precision.
+func (b *Bench) Figure13() *Result {
+	r := &Result{
+		ID:     "Figure 13",
+		Title:  "energy vs Bit Fusion (normalized to Bit Fusion, benchmark average)",
+		Header: []string{"precision", "Ristretto energy", "of which DRAM", "Bit Fusion"},
+		Notes:  "paper: 41.84% / 32.29% / 33.33% / 26.16% of Bit Fusion at 8/4/2/mixed bits",
+	}
+	rcfg := ristrettoVsBitFusion()
+	bfcfg := bitfusion.DefaultConfig()
+	m := energy.Default()
+	for _, prec := range PrecisionNames {
+		var ratios, dramShare []float64
+		for _, n := range b.Networks() {
+			stats := b.Stats(n, prec, rcfg.Tile.Gran)
+			cr := ristretto.EstimateNetwork(stats, rcfg).Counters
+			_, cbf := bitfusion.EstimateNetwork(stats, bfcfg)
+			er := m.Split(cr)
+			eb := m.Split(cbf)
+			ratios = append(ratios, er.Total()/eb.Total())
+			dramShare = append(dramShare, er.OffChipPJ/er.Total())
+		}
+		r.AddRow(prec, pct(geomean(ratios)), pct(geomean(dramShare)), "100%")
+	}
+	return r
+}
+
+// Figure14 compares performance against Laconic at matched compute area.
+func (b *Bench) Figure14() *Result {
+	r := &Result{
+		ID:     "Figure 14",
+		Title:  "performance vs Laconic (normalized to Laconic)",
+		Header: []string{"network", "precision", "Ristretto speedup"},
+		Notes:  "paper averages: 3.58x / 4.18x / 6.12x / 5.69x at 8/4/2/mixed bits (grows as precision narrows)",
+	}
+	rcfg := ristrettoVsLaconic()
+	lcfg := laconic.DefaultConfig()
+	for _, prec := range PrecisionNames {
+		var sp []float64
+		for _, n := range b.Networks() {
+			stats := b.Stats(n, prec, rcfg.Tile.Gran)
+			cr := ristretto.EstimateNetwork(stats, rcfg).Cycles
+			cl, _ := laconic.EstimateNetwork(stats, lcfg)
+			s := float64(cl) / float64(cr)
+			sp = append(sp, s)
+			r.AddRow(n.Name, prec, f2(s))
+		}
+		r.AddRow("geomean", prec, f2(geomean(sp)))
+	}
+	return r
+}
+
+// Figure15 measures one compute tile's performance against controlled atom
+// and value sparsity on randomly generated tensors, using the cycle-accurate
+// simulator.
+func (b *Bench) Figure15() *Result {
+	r := &Result{
+		ID:     "Figure 15",
+		Title:  "Ristretto cycle-simulated performance vs sparsity (one compute tile, random tensors)",
+		Header: []string{"sweep", "density", "cycles", "speedup vs dense"},
+		Notes:  "unlike Laconic (Figure 4), latency scales directly with stream density",
+	}
+	cfg := ristretto.Config{Tiles: 1, Tile: ristretto.TileConfig{Mults: 16, Gran: 2}}
+	run := func(valD, atomD float64, seed int64) int64 {
+		g := workload.NewGen(seed)
+		f := g.FeatureMapExact(8, 16, 16, 8, 2, valD, atomD)
+		w := g.KernelsExact(16, 8, 3, 3, 8, 2, valD, atomD)
+		return ristretto.SimulateConv(f, w, 1, 1, cfg).Cycles
+	}
+	dense := run(1.0, 1.0, b.Seed)
+	for _, d := range []float64{1.0, 0.8, 0.6, 0.4, 0.2} {
+		c := run(1.0, d, b.Seed)
+		r.AddRow("atom density (value density 1.0)", f2(d), fmt.Sprint(c), f2(float64(dense)/float64(c)))
+	}
+	for _, d := range []float64{1.0, 0.8, 0.6, 0.4, 0.2} {
+		c := run(d, 1.0, b.Seed)
+		r.AddRow("value density (atom density 1.0)", f2(d), fmt.Sprint(c), f2(float64(dense)/float64(c)))
+	}
+	return r
+}
+
+// Figure16 compares energy against Laconic.
+func (b *Bench) Figure16() *Result {
+	r := &Result{
+		ID:     "Figure 16",
+		Title:  "energy vs Laconic (normalized to Laconic, benchmark average)",
+		Header: []string{"precision", "Ristretto energy", "Laconic"},
+		Notes:  "Laconic stores and moves operands densely; Ristretto's compressed formats cut buffer and DRAM energy",
+	}
+	rcfg := ristrettoVsLaconic()
+	lcfg := laconic.DefaultConfig()
+	m := energy.Default()
+	for _, prec := range PrecisionNames {
+		var ratios []float64
+		for _, n := range b.Networks() {
+			stats := b.Stats(n, prec, rcfg.Tile.Gran)
+			cr := ristretto.EstimateNetwork(stats, rcfg).Counters
+			_, cl := laconic.EstimateNetwork(stats, lcfg)
+			ratios = append(ratios, m.TotalPJ(cr)/m.TotalPJ(cl))
+		}
+		r.AddRow(prec, pct(geomean(ratios)), "100%")
+	}
+	return r
+}
+
+// Figure17 compares performance against SparTen and SparTen-mp at matched
+// peak BitOps/cycle and buffer capacity.
+func (b *Bench) Figure17() *Result {
+	r := &Result{
+		ID:     "Figure 17",
+		Title:  "performance vs SparTen and SparTen-mp (normalized to SparTen, area-normalized)",
+		Header: []string{"network", "precision", "Ristretto", "SparTen-mp", "SparTen"},
+		Notes:  "paper averages: Ristretto 3.01x/7.70x/8.54x/8.25x at 8/4/2/mixed bits; SparTen-mp in between",
+	}
+	rcfg := ristrettoVsLaconic() // 32×16: same peak BitOps as 32 8-bit CUs
+	stcfg := sparten.DefaultConfig()
+	mpcfg := sparten.Config{CUs: 32, MP: true}
+	areaR := energy.RistrettoArea(rcfg.Tiles, rcfg.Tile.Mults, int(rcfg.Tile.Gran)).Total()
+	areaST := energy.SparTenArea(32, false)
+	areaMP := energy.SparTenArea(32, true)
+	for _, prec := range PrecisionNames {
+		var spR, spMP []float64
+		for _, n := range b.Networks() {
+			stats := b.Stats(n, prec, rcfg.Tile.Gran)
+			cr := ristretto.EstimateNetwork(stats, rcfg).Cycles
+			cst, _ := sparten.EstimateNetwork(stats, stcfg)
+			cmp, _ := sparten.EstimateNetwork(stats, mpcfg)
+			sR := areaNormSpeedup(cst, areaST, cr, areaR)
+			sMP := areaNormSpeedup(cst, areaST, cmp, areaMP)
+			spR = append(spR, sR)
+			spMP = append(spMP, sMP)
+			r.AddRow(n.Name, prec, f2(sR), f2(sMP), "1.00")
+		}
+		r.AddRow("geomean", prec, f2(geomean(spR)), f2(geomean(spMP)), "1.00")
+	}
+	return r
+}
+
+// Figure18 visualizes load balancing on conv3_2 of 4-bit ResNet-18: 128
+// input feature maps and their kernels distributed over 32 compute tiles
+// under the three policies.
+func (b *Bench) Figure18() *Result {
+	r := &Result{
+		ID:     "Figure 18",
+		Title:  "load balancing of conv3_2 (4-bit ResNet-18), 128 input fmaps onto 32 compute tiles",
+		Header: []string{"policy", "max tile cost", "min tile cost", "mean", "imbalance (max/mean)"},
+		Notes:  "w/a balancing exploits that CSC latency is known before execution (Eq. 5)",
+	}
+	n, err := model.ByName("ResNet-18")
+	if err != nil {
+		panic(err)
+	}
+	stats := b.Stats(n, "4b", 2)
+	var st workload.LayerStats
+	found := false
+	for _, s := range stats {
+		if s.Layer.Name == "conv3_2" {
+			st, found = s, true
+			break
+		}
+	}
+	if !found {
+		panic("experiments: conv3_2 not found in ResNet-18")
+	}
+	const mults = 32
+	costs := make([]int64, st.Layer.C)
+	for c := range costs {
+		costs[c] = balance.Cost(st.ActAtomsPerChan[c], st.WAtomsPerChan[c], mults)
+	}
+	for _, p := range []balance.Policy{balance.None, balance.WeightOnly, balance.WeightAct} {
+		groups := balance.Assign(p, costs, st.WAtomsPerChan, 32)
+		gc := balance.GroupCosts(groups, costs)
+		max, min, mean := balance.Spread(gc)
+		r.AddRow(p.String(), fmt.Sprint(max), fmt.Sprint(min), f1(mean), f2(float64(max)/mean))
+	}
+	return r
+}
+
+// Figure19a reports compute-unit area and power across atom granularities at
+// matched BitOps/cycle (64×1b, 16×2b, 7×3b multipliers per tile).
+func (b *Bench) Figure19a() *Result {
+	r := &Result{
+		ID:     "Figure 19a",
+		Title:  "compute-unit area and power vs atom granularity (matched BitOps/cycle)",
+		Header: []string{"granularity", "multipliers/tile", "relative area", "relative power"},
+		Notes:  "paper: the 1-bit variant costs 3.34x area and 3.51x power of the 2-bit design",
+	}
+	mults := map[int]int{1: 64, 2: 16, 3: 7}
+	for _, gran := range []int{1, 2, 3} {
+		a, p := energy.GranularityFactors(gran)
+		r.AddRow(fmt.Sprintf("%db", gran), fmt.Sprint(mults[gran]), f2(a), f2(p))
+	}
+	return r
+}
+
+// Figure19b reports benchmark-average area-normalized performance across
+// atom granularities and bit-widths.
+func (b *Bench) Figure19b() *Result {
+	r := &Result{
+		ID:     "Figure 19b",
+		Title:  "benchmark-average area-normalized performance vs atom granularity",
+		Header: []string{"precision", "1-bit atoms", "2-bit atoms", "3-bit atoms"},
+		Notes:  "paper: 2-bit achieves the best average performance",
+	}
+	mults := map[int]int{1: 64, 2: 16, 3: 7}
+	colPerf := map[int][]float64{}
+	for _, prec := range []string{"8b", "4b", "2b"} {
+		row := []string{prec}
+		var base float64
+		for _, gran := range []int{1, 2, 3} {
+			cfg := ristretto.Config{Tiles: 32, Tile: ristretto.TileConfig{Mults: mults[gran], Gran: atom.Granularity(gran)}, Policy: balance.WeightAct}
+			// Normalize by compute-unit area (Figure 19a's subject); the
+			// buffer complement is identical across the three designs.
+			ab := energy.RistrettoArea(32, mults[gran], gran)
+			area := ab.Atomizer + ab.Atomputer + ab.Atomulator + ab.AccBuffer
+			var perfs []float64
+			for _, n := range b.Networks() {
+				stats := b.Stats(n, prec, atom.Granularity(gran))
+				cy := ristretto.EstimateNetwork(stats, cfg).Cycles
+				perfs = append(perfs, 1e12/(float64(cy)*area))
+			}
+			p := geomean(perfs)
+			if gran == 1 {
+				base = p
+			}
+			colPerf[gran] = append(colPerf[gran], p/base)
+			row = append(row, f2(p/base))
+		}
+		r.AddRow(row...)
+	}
+	avg := []string{"average"}
+	for _, gran := range []int{1, 2, 3} {
+		avg = append(avg, f2(geomean(colPerf[gran])))
+	}
+	r.AddRow(avg...)
+	return r
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"ristretto/internal/atom"
+	"ristretto/internal/balance"
+	"ristretto/internal/energy"
+	"ristretto/internal/ristretto"
+)
+
+// DSEPoint is one configuration of the Ristretto design space and its
+// figures of merit.
+type DSEPoint struct {
+	Tiles, Mults, Gran int
+	Cycles             int64
+	AreaMM2            float64
+	EnergyMJ           float64
+	PerfPerArea        float64 // 1 / (cycles × mm²), scaled
+	Pareto             bool    // not dominated on (cycles, area, energy)
+}
+
+// DesignSpace sweeps tile count × multipliers per tile × atom granularity
+// for one network/precision, computing cycles, area and energy per point
+// and marking the Pareto frontier — the design-space exploration behind the
+// paper's configuration choices (32 tiles × 32 2-bit multipliers vs Bit
+// Fusion; ×16 for the BitOps-matched comparisons).
+func (b *Bench) DesignSpace(netName, precision string, tiles, mults, grans []int) ([]DSEPoint, error) {
+	var net string
+	for _, n := range b.Networks() {
+		if n.Name == netName {
+			net = n.Name
+		}
+	}
+	if net == "" {
+		return nil, fmt.Errorf("experiments: network %q not in bench set", netName)
+	}
+	var points []DSEPoint
+	for _, gran := range grans {
+		for _, tl := range tiles {
+			for _, m := range mults {
+				cfg := ristretto.Config{
+					Tiles:  tl,
+					Tile:   ristretto.TileConfig{Mults: m, Gran: atom.Granularity(gran)},
+					Policy: balance.WeightAct,
+				}
+				var cycles int64
+				var cnt energy.Counters
+				for _, n := range b.Networks() {
+					if n.Name != net {
+						continue
+					}
+					stats := b.Stats(n, precision, atom.Granularity(gran))
+					perf := ristretto.EstimateNetwork(stats, cfg)
+					cycles = perf.Cycles
+					cnt = perf.Counters
+				}
+				area := energy.RistrettoArea(tl, m, gran).Total()
+				pj := energy.ModelForGranularity(gran).TotalPJ(cnt)
+				points = append(points, DSEPoint{
+					Tiles: tl, Mults: m, Gran: gran,
+					Cycles:      cycles,
+					AreaMM2:     area,
+					EnergyMJ:    pj / 1e9,
+					PerfPerArea: 1e9 / (float64(cycles) * area),
+				})
+			}
+		}
+	}
+	markPareto(points)
+	sort.SliceStable(points, func(i, j int) bool { return points[i].PerfPerArea > points[j].PerfPerArea })
+	return points, nil
+}
+
+// markPareto flags points not dominated on (cycles, area, energy).
+func markPareto(points []DSEPoint) {
+	for i := range points {
+		dominated := false
+		for j := range points {
+			if i == j {
+				continue
+			}
+			p, q := points[i], points[j]
+			if q.Cycles <= p.Cycles && q.AreaMM2 <= p.AreaMM2 && q.EnergyMJ <= p.EnergyMJ &&
+				(q.Cycles < p.Cycles || q.AreaMM2 < p.AreaMM2 || q.EnergyMJ < p.EnergyMJ) {
+				dominated = true
+				break
+			}
+		}
+		points[i].Pareto = !dominated
+	}
+}
+
+// DSETable renders a design-space sweep as a Result.
+func (b *Bench) DSETable(netName, precision string, tiles, mults, grans []int) (*Result, error) {
+	points, err := b.DesignSpace(netName, precision, tiles, mults, grans)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		ID:     "DSE",
+		Title:  fmt.Sprintf("Ristretto design space on %s (%s), sorted by perf/area", netName, precision),
+		Header: []string{"tiles", "mults", "gran", "cycles", "area mm2", "energy mJ", "perf/area", "pareto"},
+	}
+	for _, p := range points {
+		mark := ""
+		if p.Pareto {
+			mark = "*"
+		}
+		r.AddRow(fmt.Sprint(p.Tiles), fmt.Sprint(p.Mults), fmt.Sprintf("%db", p.Gran),
+			fmt.Sprint(p.Cycles), fmt.Sprintf("%.3f", p.AreaMM2), fmt.Sprintf("%.3f", p.EnergyMJ),
+			fmt.Sprintf("%.3g", p.PerfPerArea), mark)
+	}
+	return r, nil
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import "testing"
+
+func TestExtTableIRistrettoWinsAtLowPrecision(t *testing.T) {
+	b := quickBench()
+	r := b.ExtTableI()
+	g8 := cellF(t, r, findRow(t, r, "geomean", "8b"), 2)
+	g2 := cellF(t, r, findRow(t, r, "geomean", "2b"), 2)
+	if g2 <= g8 {
+		t.Fatalf("Ristretto's edge must grow at 2 bits: 8b=%v 2b=%v", g8, g2)
+	}
+	// The value-level sparse designs (SCNN, SNAP) stay roughly flat across
+	// precision: their 2b/8b ratio must be far below Ristretto's.
+	sc8 := cellF(t, r, findRow(t, r, "geomean", "8b"), 3)
+	sc2 := cellF(t, r, findRow(t, r, "geomean", "2b"), 3)
+	if sc2/sc8 > (g2/g8)*0.8 {
+		t.Fatalf("SCNN should not gain from narrow precision like Ristretto does (%v vs %v)", sc2/sc8, g2/g8)
+	}
+}
+
+func TestExtFigure3ModifiedHelpsCyclesNotArea(t *testing.T) {
+	b := quickBench()
+	r := b.ExtFigure3()
+	for i := range r.Rows {
+		cy := cellF(t, r, i, 2)
+		an := cellF(t, r, i, 3)
+		if cy < 1 {
+			t.Fatalf("row %d: modification slower in cycles (%v) on sparse workloads", i, cy)
+		}
+		if an >= cy {
+			t.Fatalf("row %d: area normalization must eat into the gain (%v vs %v)", i, an, cy)
+		}
+		if rst := cellF(t, r, i, 4); rst <= an {
+			t.Fatalf("row %d: Ristretto (%v) should beat the strawman (%v)", i, rst, an)
+		}
+	}
+}
+
+func TestExtStridePhaseDecompositionWins(t *testing.T) {
+	b := quickBench()
+	r := b.ExtStride()
+	for i := range r.Rows {
+		if sp := cellF(t, r, i, 3); sp < 1 {
+			t.Fatalf("row %d: phase decomposition slower (%v)", i, sp)
+		}
+	}
+	// AlexNet (stride-4 conv1) must benefit noticeably.
+	if sp := cellF(t, r, findRow(t, r, "AlexNet"), 3); sp < 1.3 {
+		t.Fatalf("AlexNet phase speedup %v too small for a stride-4 stem", sp)
+	}
+}
+
+func TestExtFIFODepthMonotone(t *testing.T) {
+	b := quickBench()
+	r := b.ExtFIFO()
+	prevStalls := int64(1 << 62)
+	for i := range r.Rows {
+		stalls := int64(cellF(t, r, i, 2))
+		if stalls > prevStalls {
+			t.Fatalf("row %d: stalls increased with deeper FIFO (%d after %d)", i, stalls, prevStalls)
+		}
+		prevStalls = stalls
+	}
+	if first := cellF(t, r, 0, 2); first == 0 {
+		t.Fatal("depth-1 FIFO should stall in the contention configuration")
+	}
+}
+
+func TestExtFormatsMetadataEffect(t *testing.T) {
+	b := quickBench()
+	r := b.ExtFormats()
+	// At 8 bits every format should compress below dense; at 2 bits the
+	// COO coordinate metadata should push it above the bitmap format.
+	coo8 := cellF(t, r, 0, 2)
+	if coo8 >= 100 {
+		t.Fatalf("8-bit COO should compress: %v%%", coo8)
+	}
+	coo2 := cellF(t, r, 2, 2)
+	bm2 := cellF(t, r, 2, 3)
+	if coo2 <= bm2 {
+		t.Fatalf("2-bit COO (%v%%) should be costlier than bitmap (%v%%) — metadata dominates", coo2, bm2)
+	}
+}
+
+func TestExtHighPrecisionTradeoffs(t *testing.T) {
+	b := quickBench()
+	r := b.ExtHighPrecision()
+	if len(r.Rows) != 2 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	spatial := cellF(t, r, 0, 1)
+	temporal := cellF(t, r, 1, 1)
+	if spatial <= 0 || temporal <= 0 {
+		t.Fatal("step counts must be positive")
+	}
+}
+
+func TestExtBalancingNetworks(t *testing.T) {
+	b := quickBench()
+	r := b.ExtBalancingNetworks()
+	for i := range r.Rows {
+		wa := cellF(t, r, i, 3)
+		if wa > 1.0001 {
+			t.Fatalf("row %d: w/a balancing (%v) worse than none", i, wa)
+		}
+	}
+}
+
+func TestExtMultiCoreScaling(t *testing.T) {
+	b := quickBench()
+	r := b.ExtMultiCore()
+	prev := 0.0
+	for i := range r.Rows {
+		sp := cellF(t, r, i, 2)
+		if sp < prev {
+			t.Fatalf("row %d: speedup regressed (%v after %v)", i, sp, prev)
+		}
+		prev = sp
+	}
+	// Efficiency must degrade as tiles outgrow channel counts.
+	e0 := cellF(t, r, 0, 3)
+	eN := cellF(t, r, len(r.Rows)-1, 3)
+	if eN >= e0 {
+		t.Fatalf("scaling efficiency should fall: %v → %v", e0, eN)
+	}
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// Golden tests pin the fully deterministic (workload-independent) tables so
+// accidental changes to the encoded paper content are caught. Run with
+// -update-golden after an intentional change.
+func checkGolden(t *testing.T, name string, r *Result) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	got := r.String()
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	if string(want) != got {
+		t.Fatalf("%s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenTableIV(t *testing.T) { checkGolden(t, "table_iv", TableIV()) }
+func TestGoldenTableVI(t *testing.T) { checkGolden(t, "table_vi", TableVI()) }
+func TestGoldenFigure19a(t *testing.T) {
+	checkGolden(t, "figure_19a", NewBench(1).Figure19a())
+}
+
+func TestGoldenTaxonomy(t *testing.T) {
+	for i, r := range Taxonomy() {
+		checkGolden(t, "taxonomy_"+string(rune('1'+i)), r)
+	}
+}

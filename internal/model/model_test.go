@@ -1,0 +1,171 @@
+package model
+
+import "testing"
+
+func TestBenchmarkNetworks(t *testing.T) {
+	nets := Benchmark()
+	if len(nets) != 6 {
+		t.Fatalf("benchmark has %d networks, want 6", len(nets))
+	}
+	counts := map[string]int{
+		"AlexNet": 5, "VGG-16": 13, "ResNet-18": 20, "ResNet-50": 53,
+	}
+	for _, n := range nets {
+		if want, ok := counts[n.Name]; ok && len(n.Layers) != want {
+			t.Errorf("%s has %d conv layers, want %d", n.Name, len(n.Layers), want)
+		}
+		for _, l := range n.Layers {
+			if l.OutH() <= 0 || l.OutW() <= 0 {
+				t.Errorf("%s %s produces empty output", n.Name, l.Name)
+			}
+			if l.C <= 0 || l.K <= 0 || l.MACs() <= 0 {
+				t.Errorf("%s %s malformed: %v", n.Name, l.Name, l)
+			}
+		}
+	}
+}
+
+func TestKnownMACCounts(t *testing.T) {
+	// Well-known totals: VGG-16 ≈ 15.3 GMACs, ResNet-18 ≈ 1.8 GMACs,
+	// ResNet-50 ≈ 4.1 GMACs, AlexNet ≈ 0.66 GMACs (conv layers only).
+	cases := []struct {
+		name   string
+		lo, hi float64 // GMACs
+	}{
+		{"VGG-16", 14.5, 16.0},
+		{"ResNet-18", 1.6, 2.0},
+		{"ResNet-50", 3.5, 4.5},
+		{"AlexNet", 1.0, 1.2}, // ungrouped convs (grouping ignored, see package doc)
+		{"GoogLeNet", 1.2, 1.8},
+		{"Inception-V2", 1.2, 2.4},
+	}
+	for _, c := range cases {
+		n, err := ByName(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := float64(n.MACs()) / 1e9
+		if g < c.lo || g > c.hi {
+			t.Errorf("%s: %.2f GMACs outside [%v,%v]", c.name, g, c.lo, c.hi)
+		}
+	}
+}
+
+func TestChannelChaining(t *testing.T) {
+	// Spot-check that sequential-chain networks have consistent channel
+	// counts (layer i input channels == some earlier layer's K).
+	vgg := VGG16()
+	for i := 1; i < len(vgg.Layers); i++ {
+		if vgg.Layers[i].C != vgg.Layers[i-1].K {
+			t.Errorf("VGG-16 layer %s input channels %d != previous output %d",
+				vgg.Layers[i].Name, vgg.Layers[i].C, vgg.Layers[i-1].K)
+		}
+	}
+}
+
+func TestResNet18Conv32(t *testing.T) {
+	// Figure 18 visualizes conv3_2 of ResNet-18: 128 input feature maps.
+	n := ResNet18()
+	l, err := n.Layer("conv3_2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.C != 128 || l.K != 128 || l.H != 28 {
+		t.Fatalf("conv3_2 = %v, want 128x28x28 -> 128", l)
+	}
+}
+
+func TestAlexNetConv1Geometry(t *testing.T) {
+	l := AlexNet().Layers[0]
+	if l.OutH() != 55 || l.OutW() != 55 {
+		t.Fatalf("AlexNet conv1 output %dx%d, want 55x55", l.OutH(), l.OutW())
+	}
+}
+
+func TestUniformPrecision(t *testing.T) {
+	n := AlexNet()
+	p := Uniform(n, 4)
+	if len(p.WBits) != len(n.Layers) {
+		t.Fatal("precision length mismatch")
+	}
+	for i := range p.WBits {
+		if p.WBits[i] != 4 || p.ABits[i] != 4 {
+			t.Fatal("uniform precision not uniform")
+		}
+	}
+}
+
+func TestMixed24Precision(t *testing.T) {
+	n := ResNet50()
+	p := Mixed24(n, 1)
+	if p.WBits[0] != 4 || p.ABits[0] != 4 {
+		t.Fatal("first layer must stay at 4 bits")
+	}
+	saw2, saw4 := false, false
+	for i := 1; i < len(p.WBits); i++ {
+		if p.WBits[i] != 2 && p.WBits[i] != 4 {
+			t.Fatalf("layer %d weight bits %d not in {2,4}", i, p.WBits[i])
+		}
+		if p.ABits[i] != 2 && p.ABits[i] != 4 {
+			t.Fatalf("layer %d act bits %d not in {2,4}", i, p.ABits[i])
+		}
+		saw2 = saw2 || p.WBits[i] == 2 || p.ABits[i] == 2
+		saw4 = saw4 || p.WBits[i] == 4 || p.ABits[i] == 4
+	}
+	if !saw2 || !saw4 {
+		t.Fatal("mixed assignment degenerate")
+	}
+	// Deterministic.
+	q := Mixed24(n, 1)
+	for i := range p.WBits {
+		if p.WBits[i] != q.WBits[i] || p.ABits[i] != q.ABits[i] {
+			t.Fatal("Mixed24 not deterministic")
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("LeNet"); err == nil {
+		t.Fatal("expected error for unknown network")
+	}
+	if _, err := AlexNet().Layer("nope"); err == nil {
+		t.Fatal("expected error for unknown layer")
+	}
+}
+
+func TestInceptionModuleChannelConsistency(t *testing.T) {
+	// Each inception module's branch inputs must equal the previous
+	// module's total output. The builders guarantee this by construction;
+	// verify the 1×1 reduce layers all see the same input channel count
+	// within a module.
+	for _, n := range []*Network{GoogLeNet(), InceptionV2()} {
+		byModule := map[string][]Layer{}
+		for _, l := range n.Layers {
+			for i := 0; i < len(l.Name); i++ {
+				if l.Name[i] == '/' {
+					byModule[l.Name[:i]] = append(byModule[l.Name[:i]], l)
+					break
+				}
+			}
+		}
+		if len(byModule) < 9 {
+			t.Fatalf("%s has %d inception modules, want >=9", n.Name, len(byModule))
+		}
+		for mod, ls := range byModule {
+			cin := -1
+			for _, l := range ls {
+				if l.KH == 1 && l.Stride == 1 && !isProj(l.Name) {
+					if cin == -1 {
+						cin = l.C
+					} else if l.C != cin {
+						t.Errorf("%s module %s reduce layers disagree on input channels", n.Name, mod)
+					}
+				}
+			}
+		}
+	}
+}
+
+func isProj(name string) bool {
+	return len(name) >= 9 && name[len(name)-9:] == "pool_proj"
+}

@@ -1,0 +1,241 @@
+package model
+
+import "fmt"
+
+// Layer tables for the six benchmark networks. Geometry follows the original
+// publications (Krizhevsky 2012; Simonyan & Zisserman 2014; Szegedy 2015;
+// Ioffe & Szegedy 2015; He 2016). Shapes are for 224×224 ImageNet inference
+// (227×227 for AlexNet).
+
+// AlexNet returns the five convolution layers of AlexNet (grouping ignored,
+// as is conventional in accelerator studies).
+func AlexNet() *Network {
+	return &Network{Name: "AlexNet", Layers: []Layer{
+		{Name: "conv1", C: 3, H: 227, W: 227, K: 96, KH: 11, KW: 11, Stride: 4, Pad: 0},
+		{Name: "conv2", C: 96, H: 27, W: 27, K: 256, KH: 5, KW: 5, Stride: 1, Pad: 2},
+		{Name: "conv3", C: 256, H: 13, W: 13, K: 384, KH: 3, KW: 3, Stride: 1, Pad: 1},
+		{Name: "conv4", C: 384, H: 13, W: 13, K: 384, KH: 3, KW: 3, Stride: 1, Pad: 1},
+		{Name: "conv5", C: 384, H: 13, W: 13, K: 256, KH: 3, KW: 3, Stride: 1, Pad: 1},
+	}}
+}
+
+// VGG16 returns the thirteen convolution layers of VGG-16.
+func VGG16() *Network {
+	n := &Network{Name: "VGG-16"}
+	add := func(name string, c, hw, k int) {
+		n.Layers = append(n.Layers, Layer{Name: name, C: c, H: hw, W: hw, K: k, KH: 3, KW: 3, Stride: 1, Pad: 1})
+	}
+	add("conv1_1", 3, 224, 64)
+	add("conv1_2", 64, 224, 64)
+	add("conv2_1", 64, 112, 128)
+	add("conv2_2", 128, 112, 128)
+	add("conv3_1", 128, 56, 256)
+	add("conv3_2", 256, 56, 256)
+	add("conv3_3", 256, 56, 256)
+	add("conv4_1", 256, 28, 512)
+	add("conv4_2", 512, 28, 512)
+	add("conv4_3", 512, 28, 512)
+	add("conv5_1", 512, 14, 512)
+	add("conv5_2", 512, 14, 512)
+	add("conv5_3", 512, 14, 512)
+	return n
+}
+
+// ResNet18 returns the twenty convolution layers of ResNet-18 (basic blocks,
+// including the 1×1 downsample projections). Stage naming follows He et al.:
+// conv2_x at 56×56/64ch, conv3_x at 28×28/128ch, conv4_x at 14×14/256ch,
+// conv5_x at 7×7/512ch. conv3_2 (C=128, 28×28, K=128) is the layer Figure 18
+// visualizes.
+func ResNet18() *Network {
+	n := &Network{Name: "ResNet-18"}
+	n.Layers = append(n.Layers, Layer{Name: "conv1", C: 3, H: 224, W: 224, K: 64, KH: 7, KW: 7, Stride: 2, Pad: 3})
+	basic := func(stage string, cin, hw, cout int, downsample bool) {
+		idx := 0
+		name := func() string { idx++; return stageName(stage, idx) }
+		for b := 0; b < 2; b++ {
+			s := 1
+			ci := cout
+			if b == 0 {
+				ci = cin
+				if downsample {
+					s = 2
+				}
+			}
+			h := hw
+			if b == 0 && downsample {
+				h = hw * 2
+			}
+			n.Layers = append(n.Layers,
+				Layer{Name: name(), C: ci, H: h, W: h, K: cout, KH: 3, KW: 3, Stride: s, Pad: 1},
+				Layer{Name: name(), C: cout, H: hw, W: hw, K: cout, KH: 3, KW: 3, Stride: 1, Pad: 1})
+			if b == 0 && downsample {
+				n.Layers = append(n.Layers,
+					Layer{Name: stage + "_ds", C: ci, H: h, W: h, K: cout, KH: 1, KW: 1, Stride: 2, Pad: 0})
+			}
+		}
+	}
+	basic("conv2", 64, 56, 64, false)
+	basic("conv3", 64, 28, 128, true)
+	basic("conv4", 128, 14, 256, true)
+	basic("conv5", 256, 7, 512, true)
+	return n
+}
+
+func stageName(stage string, idx int) string {
+	return fmt.Sprintf("%s_%d", stage, idx)
+}
+
+// ResNet50 returns the fifty-three convolution layers of ResNet-50
+// (bottleneck blocks with 1×1/3×3/1×1 convs and 1×1 projections).
+func ResNet50() *Network {
+	n := &Network{Name: "ResNet-50"}
+	n.Layers = append(n.Layers, Layer{Name: "conv1", C: 3, H: 224, W: 224, K: 64, KH: 7, KW: 7, Stride: 2, Pad: 3})
+	bottleneck := func(stage string, blocks, cin, hwIn, mid int, stride int) {
+		cout := mid * 4
+		idx := 0
+		name := func() string { idx++; return stageName(stage, idx) }
+		hwOut := hwIn / stride
+		for b := 0; b < blocks; b++ {
+			ci, s, h := cout, 1, hwOut
+			if b == 0 {
+				ci, s, h = cin, stride, hwIn
+			}
+			n.Layers = append(n.Layers,
+				Layer{Name: name(), C: ci, H: h, W: h, K: mid, KH: 1, KW: 1, Stride: 1, Pad: 0},
+				Layer{Name: name(), C: mid, H: h, W: h, K: mid, KH: 3, KW: 3, Stride: s, Pad: 1},
+				Layer{Name: name(), C: mid, H: hwOut, W: hwOut, K: cout, KH: 1, KW: 1, Stride: 1, Pad: 0})
+			if b == 0 {
+				n.Layers = append(n.Layers,
+					Layer{Name: stage + "_ds", C: ci, H: h, W: h, K: cout, KH: 1, KW: 1, Stride: s, Pad: 0})
+			}
+		}
+	}
+	bottleneck("conv2", 3, 64, 56, 64, 1)
+	bottleneck("conv3", 4, 256, 56, 128, 2)
+	bottleneck("conv4", 6, 512, 28, 256, 2)
+	bottleneck("conv5", 3, 1024, 14, 512, 2)
+	return n
+}
+
+// inceptionBranchSpec describes one GoogLeNet inception module:
+// 1×1 branch, 3×3 branch (reduce then 3×3), 5×5 branch (reduce then 5×5),
+// and the pool-projection 1×1. Output channels = n1 + n3 + n5 + pool.
+type inceptionSpec struct {
+	name         string
+	n1, r3, n3   int
+	r5, n5, pool int
+}
+
+func (s inceptionSpec) out() int { return s.n1 + s.n3 + s.n5 + s.pool }
+
+func (s inceptionSpec) layers(cin, hw int) []Layer {
+	var ls []Layer
+	add := func(suffix string, c, k, ksz, pad int) {
+		ls = append(ls, Layer{Name: s.name + "/" + suffix, C: c, H: hw, W: hw, K: k, KH: ksz, KW: ksz, Stride: 1, Pad: pad})
+	}
+	if s.n1 > 0 {
+		add("1x1", cin, s.n1, 1, 0)
+	}
+	add("3x3_reduce", cin, s.r3, 1, 0)
+	add("3x3", s.r3, s.n3, 3, 1)
+	add("5x5_reduce", cin, s.r5, 1, 0)
+	add("5x5", s.r5, s.n5, 5, 2)
+	add("pool_proj", cin, s.pool, 1, 0)
+	return ls
+}
+
+// GoogLeNet returns the convolution layers of GoogLeNet (inception v1),
+// 57 convolutions across the stem and nine inception modules.
+func GoogLeNet() *Network {
+	n := &Network{Name: "GoogLeNet"}
+	n.Layers = append(n.Layers,
+		Layer{Name: "conv1", C: 3, H: 224, W: 224, K: 64, KH: 7, KW: 7, Stride: 2, Pad: 3},
+		Layer{Name: "conv2_reduce", C: 64, H: 56, W: 56, K: 64, KH: 1, KW: 1, Stride: 1, Pad: 0},
+		Layer{Name: "conv2", C: 64, H: 56, W: 56, K: 192, KH: 3, KW: 3, Stride: 1, Pad: 1})
+	specs := []struct {
+		spec inceptionSpec
+		hw   int
+	}{
+		{inceptionSpec{"3a", 64, 96, 128, 16, 32, 32}, 28},
+		{inceptionSpec{"3b", 128, 128, 192, 32, 96, 64}, 28},
+		{inceptionSpec{"4a", 192, 96, 208, 16, 48, 64}, 14},
+		{inceptionSpec{"4b", 160, 112, 224, 24, 64, 64}, 14},
+		{inceptionSpec{"4c", 128, 128, 256, 24, 64, 64}, 14},
+		{inceptionSpec{"4d", 112, 144, 288, 32, 64, 64}, 14},
+		{inceptionSpec{"4e", 256, 160, 320, 32, 128, 128}, 14},
+		{inceptionSpec{"5a", 256, 160, 320, 32, 128, 128}, 7},
+		{inceptionSpec{"5b", 384, 192, 384, 48, 128, 128}, 7},
+	}
+	cin := 192
+	for _, s := range specs {
+		n.Layers = append(n.Layers, s.spec.layers(cin, s.hw)...)
+		cin = s.spec.out()
+	}
+	return n
+}
+
+// bnInceptionSpec describes one Inception-V2 (BN-Inception) module: a 1×1
+// branch, a 3×3 branch, a double-3×3 branch, and a pool projection. Stride-2
+// modules drop the 1×1 branch and the pool projection (the pooled input
+// passes through), per Ioffe & Szegedy (2015).
+type bnInceptionSpec struct {
+	name        string
+	n1, r3, n3  int
+	rd, nd      int // double-3×3 branch: reduce, then two 3×3 at nd
+	pool        int
+	stride      int
+	passthrough int // channels carried by the stride-2 pooling path
+}
+
+func (s bnInceptionSpec) out() int { return s.n1 + s.n3 + s.nd + s.pool + s.passthrough }
+
+func (s bnInceptionSpec) layers(cin, hw int) []Layer {
+	var ls []Layer
+	add := func(suffix string, c, k, ksz, stride, pad, sz int) {
+		ls = append(ls, Layer{Name: s.name + "/" + suffix, C: c, H: sz, W: sz, K: k, KH: ksz, KW: ksz, Stride: stride, Pad: pad})
+	}
+	hwOut := hw / s.stride
+	if s.n1 > 0 {
+		add("1x1", cin, s.n1, 1, 1, 0, hw)
+	}
+	add("3x3_reduce", cin, s.r3, 1, 1, 0, hw)
+	add("3x3", s.r3, s.n3, 3, s.stride, 1, hw)
+	add("d3x3_reduce", cin, s.rd, 1, 1, 0, hw)
+	add("d3x3_a", s.rd, s.nd, 3, 1, 1, hw)
+	add("d3x3_b", s.nd, s.nd, 3, s.stride, 1, hw)
+	if s.pool > 0 {
+		add("pool_proj", cin, s.pool, 1, 1, 0, hwOut)
+	}
+	return ls
+}
+
+// InceptionV2 returns the convolution layers of Inception-V2 (BN-Inception),
+// following the module table of Ioffe & Szegedy (2015).
+func InceptionV2() *Network {
+	n := &Network{Name: "Inception-V2"}
+	n.Layers = append(n.Layers,
+		Layer{Name: "conv1", C: 3, H: 224, W: 224, K: 64, KH: 7, KW: 7, Stride: 2, Pad: 3},
+		Layer{Name: "conv2_reduce", C: 64, H: 56, W: 56, K: 64, KH: 1, KW: 1, Stride: 1, Pad: 0},
+		Layer{Name: "conv2", C: 64, H: 56, W: 56, K: 192, KH: 3, KW: 3, Stride: 1, Pad: 1})
+	specs := []struct {
+		spec bnInceptionSpec
+		hw   int
+	}{
+		{bnInceptionSpec{"3a", 64, 64, 64, 64, 96, 32, 1, 0}, 28},
+		{bnInceptionSpec{"3b", 64, 64, 96, 64, 96, 64, 1, 0}, 28},
+		{bnInceptionSpec{"3c", 0, 128, 160, 64, 96, 0, 2, 320}, 28},
+		{bnInceptionSpec{"4a", 224, 64, 96, 96, 128, 128, 1, 0}, 14},
+		{bnInceptionSpec{"4b", 192, 96, 128, 96, 128, 128, 1, 0}, 14},
+		{bnInceptionSpec{"4c", 160, 128, 160, 128, 160, 96, 1, 0}, 14},
+		{bnInceptionSpec{"4d", 96, 128, 192, 160, 192, 96, 1, 0}, 14},
+		{bnInceptionSpec{"4e", 0, 128, 192, 192, 256, 0, 2, 576}, 14},
+		{bnInceptionSpec{"5a", 352, 192, 320, 160, 224, 128, 1, 0}, 7},
+		{bnInceptionSpec{"5b", 352, 192, 320, 192, 224, 128, 1, 0}, 7},
+	}
+	cin := 192
+	for _, s := range specs {
+		n.Layers = append(n.Layers, s.spec.layers(cin, s.hw)...)
+		cin = s.spec.out()
+	}
+	return n
+}

@@ -1,0 +1,175 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ristretto/internal/atom"
+)
+
+func gaussians(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func TestQuantizeSignedRange(t *testing.T) {
+	x := gaussians(10000, 1)
+	for _, bits := range []int{2, 4, 8} {
+		q := QuantizeSigned(x, 1, Config{Bits: bits, ClipSigma: DefaultWeightClip(bits)})
+		limit := int32(1)<<(bits-1) - 1
+		for _, v := range q {
+			if v > limit || v < -limit {
+				t.Fatalf("bits=%d value %d outside symmetric range ±%d", bits, v, limit)
+			}
+		}
+	}
+}
+
+func TestQuantizeUnsignedRange(t *testing.T) {
+	x := gaussians(10000, 2)
+	for _, bits := range []int{2, 4, 8} {
+		q := QuantizeUnsigned(x, 1, Config{Bits: bits, ClipSigma: DefaultActClip(bits)})
+		limit := int32(1)<<bits - 1
+		for _, v := range q {
+			if v < 0 || v > limit {
+				t.Fatalf("bits=%d value %d outside [0,%d]", bits, v, limit)
+			}
+		}
+	}
+}
+
+func TestSparsityGrowsAsBitsShrink(t *testing.T) {
+	// The core mechanism behind Figure 1: coarser quantization steps send
+	// more values to the zero bin, for both weights and activations.
+	x := gaussians(200000, 3)
+	prevW, prevA := -1.0, -1.0
+	for _, bits := range []int{8, 6, 4, 2} {
+		w := QuantizeSigned(x, 1, Config{Bits: bits, ClipSigma: DefaultWeightClip(bits)})
+		a := QuantizeUnsigned(x, 1, Config{Bits: bits, ClipSigma: DefaultActClip(bits)})
+		ws := Measure(w, bits, 2).Sparsity()
+		as := Measure(a, bits, 2).Sparsity()
+		if ws <= prevW {
+			t.Fatalf("weight sparsity not increasing: %v then %v at %d bits", prevW, ws, bits)
+		}
+		if as <= prevA {
+			t.Fatalf("activation sparsity not increasing: %v then %v at %d bits", prevA, as, bits)
+		}
+		prevW, prevA = ws, as
+	}
+}
+
+func TestTwoBitSparsityNearPaperAverages(t *testing.T) {
+	// Paper: unpruned 2-bit models average 47.43% weight and 75.25%
+	// activation sparsity. Our statistical substitute should land in the
+	// same neighbourhood (±10 points).
+	x := gaussians(500000, 4)
+	w := QuantizeSigned(x, 1, Config{Bits: 2, ClipSigma: DefaultWeightClip(2)})
+	a := QuantizeUnsigned(x, 1, Config{Bits: 2, ClipSigma: DefaultActClip(2)})
+	ws := Measure(w, 2, 2).Sparsity()
+	as := Measure(a, 2, 2).Sparsity()
+	if math.Abs(ws-0.4743) > 0.10 {
+		t.Errorf("2-bit weight sparsity %.3f too far from paper 0.474", ws)
+	}
+	if math.Abs(as-0.7525) > 0.10 {
+		t.Errorf("2-bit activation sparsity %.3f too far from paper 0.753", as)
+	}
+}
+
+func TestPruneToDensityExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := make([]int32, 1000)
+	for i := range data {
+		data[i] = int32(rng.Intn(255) - 127)
+	}
+	got := PruneToDensity(data, 0.3)
+	nz := 0
+	for _, v := range data {
+		if v != 0 {
+			nz++
+		}
+	}
+	if nz != 300 {
+		t.Fatalf("kept %d non-zeros, want 300", nz)
+	}
+	if got != 0.3 {
+		t.Fatalf("achieved density %v", got)
+	}
+}
+
+func TestPruneKeepsLargestMagnitudes(t *testing.T) {
+	data := []int32{1, -9, 2, 8, -3, 7, 4, -6, 5, 0}
+	PruneToDensity(data, 0.3)
+	want := map[int32]bool{-9: true, 8: true, 7: true}
+	for _, v := range data {
+		if v != 0 && !want[v] {
+			t.Fatalf("kept %d, which is not among the 3 largest magnitudes: %v", v, data)
+		}
+	}
+}
+
+func TestPruneNoOpWhenAlreadySparse(t *testing.T) {
+	data := []int32{0, 0, 5, 0}
+	got := PruneToDensity(data, 0.9)
+	if data[2] != 5 || got != 0.25 {
+		t.Fatalf("prune altered already-sparse data: %v density %v", data, got)
+	}
+}
+
+func TestPruneDensityProperty(t *testing.T) {
+	f := func(seed int64, d8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		density := float64(d8%100) / 100
+		data := make([]int32, 500)
+		for i := range data {
+			data[i] = int32(rng.Intn(31) - 15)
+		}
+		PruneToDensity(data, density)
+		nz := 0
+		for _, v := range data {
+			if v != 0 {
+				nz++
+			}
+		}
+		return nz <= int(math.Ceil(density*500))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	// values: 0, 1 (one atom), 5 (0b0101: two atoms) at 4 bits, 2-bit atoms.
+	s := Measure([]int32{0, 1, 5}, 4, 2)
+	if s.NonZero != 2 || s.NonZeroAtoms != 3 || s.DenseAtoms != 6 {
+		t.Fatalf("Measure = %+v", s)
+	}
+	if s.ValueDensity != 2.0/3.0 {
+		t.Fatalf("ValueDensity = %v", s.ValueDensity)
+	}
+	if s.AtomDensity != 3.0/4.0 {
+		t.Fatalf("AtomDensity = %v", s.AtomDensity)
+	}
+	if math.Abs(s.Sparsity()-1.0/3.0) > 1e-12 {
+		t.Fatalf("Sparsity = %v", s.Sparsity())
+	}
+}
+
+func TestMeasureConsistentWithAtomPackage(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	data := make([]int32, 2000)
+	for i := range data {
+		if rng.Intn(2) == 0 {
+			data[i] = int32(rng.Intn(127))
+		}
+	}
+	s := Measure(data, 8, 2)
+	if s.NonZeroAtoms != atom.TotalNonZeroAtoms(data, 8, 2) {
+		t.Fatal("Measure disagrees with atom.TotalNonZeroAtoms")
+	}
+}

@@ -1,0 +1,122 @@
+// Package refconv is the golden model: a plain dense integer convolution and
+// a tiled full-convolution variant mirroring the Atomulator's coordinate
+// algebra. Every sparse/streaming/simulated implementation in this repository
+// is validated bit-exactly against it.
+package refconv
+
+import (
+	"fmt"
+
+	"ristretto/internal/tensor"
+)
+
+// Conv computes the standard (cross-correlation) convolution of f with w at
+// the given stride and zero padding, accumulating in int32.
+func Conv(f *tensor.FeatureMap, w *tensor.KernelStack, stride, pad int) *tensor.OutputMap {
+	if f.C != w.C {
+		panic(fmt.Sprintf("refconv: channel mismatch %d vs %d", f.C, w.C))
+	}
+	oh := tensor.ConvOutSize(f.H, w.KH, stride, pad)
+	ow := tensor.ConvOutSize(f.W, w.KW, stride, pad)
+	out := tensor.NewOutputMap(w.K, oh, ow)
+	for k := 0; k < w.K; k++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var acc int32
+				for c := 0; c < f.C; c++ {
+					for dy := 0; dy < w.KH; dy++ {
+						iy := oy*stride - pad + dy
+						if iy < 0 || iy >= f.H {
+							continue
+						}
+						for dx := 0; dx < w.KW; dx++ {
+							ix := ox*stride - pad + dx
+							if ix < 0 || ix >= f.W {
+								continue
+							}
+							acc += f.At(c, iy, ix) * w.At(k, c, dy, dx)
+						}
+					}
+				}
+				out.Set(k, oy, ox, acc)
+			}
+		}
+	}
+	return out
+}
+
+// FullConv computes the "full" convolution buffer the Ristretto accumulate
+// buffer holds: for each output channel, a (H+kh-1)×(W+kw-1) plane where
+// position (u,v) accumulates all products with u = (kh-1) - y_w + y_in and
+// v = (kw-1) - x_w + x_in (Eq. 1). It is computed densely and directly from
+// the definition, independent of the streaming implementation.
+func FullConv(f *tensor.FeatureMap, w *tensor.KernelStack) *tensor.OutputMap {
+	if f.C != w.C {
+		panic("refconv: channel mismatch")
+	}
+	fh := tensor.FullConvSize(f.H, w.KH)
+	fw := tensor.FullConvSize(f.W, w.KW)
+	out := tensor.NewOutputMap(w.K, fh, fw)
+	for k := 0; k < w.K; k++ {
+		for c := 0; c < f.C; c++ {
+			for yin := 0; yin < f.H; yin++ {
+				for xin := 0; xin < f.W; xin++ {
+					a := f.At(c, yin, xin)
+					if a == 0 {
+						continue
+					}
+					for yw := 0; yw < w.KH; yw++ {
+						for xw := 0; xw < w.KW; xw++ {
+							wt := w.At(k, c, yw, xw)
+							if wt == 0 {
+								continue
+							}
+							u := w.KH - 1 - yw + yin
+							v := w.KW - 1 - xw + xin
+							out.Add(k, u, v, a*wt)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ExtractStrided reads the standard conv output out of a full-convolution
+// buffer: output pixel (ox,oy) lives at full-buffer position
+// (ox*stride + kw-1 - pad, oy*stride + kh-1 - pad).
+func ExtractStrided(full *tensor.OutputMap, inH, inW, kh, kw, stride, pad int) *tensor.OutputMap {
+	oh := tensor.ConvOutSize(inH, kh, stride, pad)
+	ow := tensor.ConvOutSize(inW, kw, stride, pad)
+	out := tensor.NewOutputMap(full.K, oh, ow)
+	for k := 0; k < full.K; k++ {
+		for oy := 0; oy < oh; oy++ {
+			u := oy*stride + kh - 1 - pad
+			for ox := 0; ox < ow; ox++ {
+				v := ox*stride + kw - 1 - pad
+				if u >= 0 && u < full.H && v >= 0 && v < full.W {
+					out.Set(k, oy, ox, full.At(k, u, v))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AddTileFull overlap-adds a tile's full-convolution buffer (computed over
+// the tile's local coordinates) into the global full buffer at the tile
+// origin. Tiled full convolution is exact because convolution is linear in
+// the input: partitioning the input plane and summing per-tile full
+// convolutions reproduces the whole-plane full convolution.
+func AddTileFull(global, tileFull *tensor.OutputMap, tl tensor.Tile) {
+	for k := 0; k < tileFull.K; k++ {
+		for y := 0; y < tileFull.H; y++ {
+			for x := 0; x < tileFull.W; x++ {
+				if v := tileFull.At(k, y, x); v != 0 {
+					global.Add(k, tl.Y0+y, tl.X0+x, v)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package refconv
+
+import (
+	"testing"
+
+	"ristretto/internal/tensor"
+	"ristretto/internal/workload"
+)
+
+func TestConvIdentityKernel(t *testing.T) {
+	f := tensor.NewFeatureMap(1, 3, 3, 8)
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			f.Set(0, y, x, int32(y*3+x+1))
+		}
+	}
+	w := tensor.NewKernelStack(1, 1, 1, 1, 8)
+	w.Set(0, 0, 0, 0, 1)
+	out := Conv(f, w, 1, 0)
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			if out.At(0, y, x) != f.At(0, y, x) {
+				t.Fatal("1x1 identity kernel must copy input")
+			}
+		}
+	}
+}
+
+func TestConvKnown3x3(t *testing.T) {
+	// 2x2 input, 2x2 kernel, no pad, stride 1 → single output:
+	// sum of elementwise products.
+	f := tensor.NewFeatureMap(1, 2, 2, 8)
+	f.Set(0, 0, 0, 1)
+	f.Set(0, 0, 1, 2)
+	f.Set(0, 1, 0, 3)
+	f.Set(0, 1, 1, 4)
+	w := tensor.NewKernelStack(1, 1, 2, 2, 8)
+	w.Set(0, 0, 0, 0, 10)
+	w.Set(0, 0, 0, 1, 20)
+	w.Set(0, 0, 1, 0, 30)
+	w.Set(0, 0, 1, 1, -40)
+	out := Conv(f, w, 1, 0)
+	if out.H != 1 || out.W != 1 {
+		t.Fatalf("output %dx%d, want 1x1", out.H, out.W)
+	}
+	if got := out.At(0, 0, 0); got != 1*10+2*20+3*30+4*-40 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestConvPaddingAndStride(t *testing.T) {
+	g := workload.NewGen(1)
+	f := g.FeatureMapExact(3, 7, 9, 8, 2, 0.6, 0.7)
+	w := g.KernelsExact(4, 3, 3, 3, 8, 2, 0.6, 0.7)
+	out := Conv(f, w, 2, 1)
+	if out.H != 4 || out.W != 5 {
+		t.Fatalf("output %dx%d, want 4x5", out.H, out.W)
+	}
+	// Check one pixel by hand accumulation.
+	var acc int32
+	oy, ox, k := 1, 2, 3
+	for c := 0; c < 3; c++ {
+		for dy := 0; dy < 3; dy++ {
+			for dx := 0; dx < 3; dx++ {
+				iy, ix := oy*2-1+dy, ox*2-1+dx
+				if iy >= 0 && iy < 7 && ix >= 0 && ix < 9 {
+					acc += f.At(c, iy, ix) * w.At(k, c, dy, dx)
+				}
+			}
+		}
+	}
+	if out.At(k, oy, ox) != acc {
+		t.Fatalf("pixel mismatch: %d vs %d", out.At(k, oy, ox), acc)
+	}
+}
+
+func TestFullConvExtractMatchesConv(t *testing.T) {
+	g := workload.NewGen(2)
+	for _, cfg := range []struct{ stride, pad int }{{1, 0}, {1, 1}, {2, 1}, {2, 0}, {1, 2}} {
+		f := g.FeatureMapExact(2, 8, 8, 8, 2, 0.5, 0.7)
+		w := g.KernelsExact(3, 2, 3, 3, 8, 2, 0.5, 0.7)
+		full := FullConv(f, w)
+		got := ExtractStrided(full, f.H, f.W, w.KH, w.KW, cfg.stride, cfg.pad)
+		want := Conv(f, w, cfg.stride, cfg.pad)
+		if !got.Equal(want) {
+			t.Fatalf("stride=%d pad=%d: extract(full) != conv (maxdiff %d)", cfg.stride, cfg.pad, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestTiledFullConvOverlapAdd(t *testing.T) {
+	g := workload.NewGen(3)
+	f := g.FeatureMapExact(3, 13, 11, 8, 2, 0.5, 0.7)
+	w := g.KernelsExact(2, 3, 3, 3, 8, 2, 0.5, 0.7)
+	whole := FullConv(f, w)
+	global := tensor.NewOutputMap(w.K, tensor.FullConvSize(f.H, w.KH), tensor.FullConvSize(f.W, w.KW))
+	for _, tl := range tensor.TileGrid(f.W, f.H, 4, 5) {
+		// Build a tile-local feature map and convolve it fully.
+		tf := tensor.NewFeatureMap(f.C, tl.H, tl.W, f.Bits)
+		for c := 0; c < f.C; c++ {
+			for y := 0; y < tl.H; y++ {
+				for x := 0; x < tl.W; x++ {
+					tf.Set(c, y, x, f.At(c, tl.Y0+y, tl.X0+x))
+				}
+			}
+		}
+		AddTileFull(global, FullConv(tf, w), tl)
+	}
+	if !global.Equal(whole) {
+		t.Fatalf("tiled overlap-add differs from whole-plane full conv (maxdiff %d)", global.MaxAbsDiff(whole))
+	}
+}
+
+func TestConvChannelMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on channel mismatch")
+		}
+	}()
+	Conv(tensor.NewFeatureMap(2, 4, 4, 8), tensor.NewKernelStack(1, 3, 3, 3, 8), 1, 1)
+}
+
+func TestNonSquareKernel(t *testing.T) {
+	g := workload.NewGen(4)
+	f := g.FeatureMapExact(2, 9, 9, 4, 2, 0.8, 0.8)
+	w := g.KernelsExact(2, 2, 1, 3, 4, 2, 0.8, 0.8)
+	full := FullConv(f, w)
+	got := ExtractStrided(full, f.H, f.W, w.KH, w.KW, 1, 0)
+	want := Conv(f, w, 1, 0)
+	if !got.Equal(want) {
+		t.Fatal("non-square kernel full-conv mismatch")
+	}
+}

@@ -1,0 +1,95 @@
+package ristretto
+
+import (
+	"ristretto/internal/atom"
+	"ristretto/internal/core"
+)
+
+// This file models the Atomizer at word granularity (Section IV-C1). The
+// tile simulator abstracts the Atomizer as "one non-zero atom per cycle";
+// here we verify that abstraction from the actual word-parsing behaviour:
+// the Atomizer reads one 8-bit word from the input buffer — holding one
+// 8-bit, two 4-bit or four 2-bit activations — and scans it with a
+// leading-one detector, emitting exactly one non-zero atom with its shift
+// offset, last flag and latched (x,y) coordinate per cycle.
+
+// Word is one 8-bit input-buffer word plus the coordinates of the
+// activations packed into it (one per activation, low bits first).
+type Word struct {
+	Bits uint8 // packed payload
+	XY   [][2]uint8
+}
+
+// PackWords packs a compressed (zero-values-removed) activation stream into
+// 8-bit words at the given activation bit-width. Activations within a word
+// occupy ascending bit positions.
+func PackWords(elems []core.ActElem, bits int) []Word {
+	perWord := 8 / bits
+	if perWord < 1 {
+		perWord = 1
+	}
+	var words []Word
+	for i := 0; i < len(elems); i += perWord {
+		var w Word
+		for j := 0; j < perWord && i+j < len(elems); j++ {
+			e := elems[i+j]
+			w.Bits |= uint8(e.Val) << (j * bits)
+			w.XY = append(w.XY, [2]uint8{e.X, e.Y})
+		}
+		words = append(words, w)
+	}
+	return words
+}
+
+// AtomizerTrace reports a word-level Atomizer scan.
+type AtomizerTrace struct {
+	Atoms      []core.ActAtom
+	HoldCycles []int // cycles each word occupied the Atomizer
+	Cycles     int   // total scan cycles (== len(Atoms): one atom per cycle)
+}
+
+// ScanWords runs the word-level Atomizer over a packed stream: per cycle it
+// emits the next non-zero atom of the current word via leading-one
+// detection, latching the owning activation's coordinate, and pulls the
+// next word when the current one is exhausted. Since zero values were
+// removed upstream, every word yields at least one atom per held cycle.
+func ScanWords(words []Word, bits int, gran atom.Granularity) AtomizerTrace {
+	var tr AtomizerTrace
+	perWord := 8 / bits
+	if perWord < 1 {
+		perWord = 1
+	}
+	mask := int32(1)<<bits - 1
+	for _, w := range words {
+		hold := 0
+		for j := 0; j < len(w.XY); j++ {
+			v := (int32(w.Bits) >> (j * bits)) & mask
+			if v == 0 {
+				// A packed slot can only be zero in the final,
+				// partially-filled word of the stream.
+				continue
+			}
+			for _, a := range atom.Decompose(v, bits, gran) {
+				tr.Atoms = append(tr.Atoms, core.ActAtom{
+					Mag: a.Mag, Shift: a.Shift, Last: a.Last,
+					X: w.XY[j][0], Y: w.XY[j][1],
+				})
+				hold++
+			}
+		}
+		tr.HoldCycles = append(tr.HoldCycles, hold)
+		tr.Cycles += hold
+	}
+	return tr
+}
+
+// MaxHoldCycles returns the paper's bound on how long an 8-bit word can
+// occupy the Atomizer: ⌈8/N⌉ cycles for a full 8-bit activation, and one
+// cycle per activation at 2-bit quantization with 2-bit atoms.
+func MaxHoldCycles(bits int, gran atom.Granularity) int {
+	perWord := 8 / bits
+	if perWord < 1 {
+		perWord = 1
+	}
+	return perWord * gran.Count(bits)
+}

@@ -1,0 +1,106 @@
+package ristretto
+
+import (
+	"reflect"
+	"testing"
+
+	"ristretto/internal/atom"
+	"ristretto/internal/core"
+	"ristretto/internal/tensor"
+	"ristretto/internal/workload"
+)
+
+func TestPackWordsCapacity(t *testing.T) {
+	elems := []core.ActElem{{Val: 3, X: 1}, {Val: 2, X: 2}, {Val: 1, X: 3}, {Val: 3, X: 4}, {Val: 2, X: 5}}
+	w8 := PackWords(elems, 8)
+	w4 := PackWords(elems, 4)
+	w2 := PackWords(elems, 2)
+	if len(w8) != 5 || len(w4) != 3 || len(w2) != 2 {
+		t.Fatalf("word counts: %d %d %d", len(w8), len(w4), len(w2))
+	}
+	// 2-bit packing: first word holds 4 activations: 3,2,1,3 → 0b11_01_10_11.
+	if w2[0].Bits != 0b11011011 {
+		t.Fatalf("2-bit packing = %08b", w2[0].Bits)
+	}
+}
+
+func TestScanWordsMatchesCompressActs(t *testing.T) {
+	// The word-level Atomizer must emit exactly the stream the abstract
+	// CompressActs produces, for every supported quantization.
+	for _, bits := range []int{2, 4, 8} {
+		g := workload.NewGen(int64(bits))
+		f := g.FeatureMapExact(1, 8, 8, bits, 2, 0.5, 0.7)
+		elems := core.FlattenTile(f, 0, tensor.Tile{W: 8, H: 8})
+		want := core.CompressActs(elems, bits, 2, false)
+		tr := ScanWords(PackWords(elems, bits), bits, 2)
+		if !reflect.DeepEqual(tr.Atoms, want) {
+			t.Fatalf("bits=%d: word-level scan diverges from CompressActs", bits)
+		}
+		if tr.Cycles != len(want) {
+			t.Fatalf("bits=%d: %d cycles for %d atoms (must be one atom per cycle)", bits, tr.Cycles, len(want))
+		}
+	}
+}
+
+func TestScanWordsHoldBound(t *testing.T) {
+	// Section IV-C1: an 8-bit word is held at most four cycles (2-bit
+	// atoms) and at least one — each 8-bit word contains ≥1 non-zero atom
+	// per packed non-zero activation.
+	for _, bits := range []int{2, 4, 8} {
+		g := workload.NewGen(int64(10 + bits))
+		f := g.FeatureMapExact(1, 16, 16, bits, 2, 0.6, 0.8)
+		elems := core.FlattenTile(f, 0, tensor.Tile{W: 16, H: 16})
+		tr := ScanWords(PackWords(elems, bits), bits, 2)
+		bound := MaxHoldCycles(bits, 2)
+		for i, h := range tr.HoldCycles {
+			if h < 1 {
+				t.Fatalf("bits=%d word %d emitted no atoms", bits, i)
+			}
+			if h > bound {
+				t.Fatalf("bits=%d word %d held %d cycles, bound %d", bits, i, h, bound)
+			}
+		}
+	}
+	if MaxHoldCycles(8, 2) != 4 {
+		t.Fatalf("8-bit word bound = %d, want 4", MaxHoldCycles(8, 2))
+	}
+}
+
+func TestScanWordsCoordinateLatching(t *testing.T) {
+	// Atoms of the same activation must carry the same latched coordinate,
+	// and the last atom of each activation must carry the Last flag.
+	elems := []core.ActElem{{Val: 0x55, X: 3, Y: 7}} // 4 non-zero 2-bit atoms
+	tr := ScanWords(PackWords(elems, 8), 8, 2)
+	if len(tr.Atoms) != 4 {
+		t.Fatalf("%d atoms, want 4", len(tr.Atoms))
+	}
+	for i, a := range tr.Atoms {
+		if a.X != 3 || a.Y != 7 {
+			t.Fatalf("atom %d coordinate not latched: %+v", i, a)
+		}
+		if a.Last != (i == 3) {
+			t.Fatalf("atom %d last flag wrong", i)
+		}
+	}
+	// Reconstruct the value from the emitted atoms.
+	var v int32
+	for _, a := range tr.Atoms {
+		v += int32(a.Mag) << a.Shift
+	}
+	if v != 0x55 {
+		t.Fatalf("reconstructed %#x", v)
+	}
+}
+
+func TestScanWordsGranularities(t *testing.T) {
+	g := workload.NewGen(20)
+	f := g.FeatureMapExact(1, 8, 8, 8, 2, 0.5, 0.7)
+	elems := core.FlattenTile(f, 0, tensor.Tile{W: 8, H: 8})
+	for _, gran := range []atom.Granularity{1, 2, 3} {
+		want := core.CompressActs(elems, 8, gran, false)
+		tr := ScanWords(PackWords(elems, 8), 8, gran)
+		if !reflect.DeepEqual(tr.Atoms, want) {
+			t.Fatalf("gran=%d mismatch", gran)
+		}
+	}
+}

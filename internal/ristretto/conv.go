@@ -1,0 +1,124 @@
+package ristretto
+
+import (
+	"ristretto/internal/balance"
+	"ristretto/internal/core"
+	"ristretto/internal/energy"
+	"ristretto/internal/refconv"
+	"ristretto/internal/tensor"
+)
+
+// Config parameterizes a Ristretto compute core.
+type Config struct {
+	Tiles  int // M: parallel compute tiles
+	Tile   TileConfig
+	TileW  int // feature-map tile width (0 = whole plane)
+	TileH  int // feature-map tile height (0 = whole plane)
+	Policy balance.Policy
+	Dense  bool // Ristretto-ns: keep zero atoms and zero values in streams
+
+	// NaiveStride charges strided layers the full stride-1 intersection
+	// cost (Section IV-C3: ineffectual outputs are computed and discarded).
+	// By default the analytic model assumes the stride-phase decomposition
+	// — inputs and kernels split into stride² coordinate phases convolved
+	// independently — which only performs effectual work and reproduces the
+	// paper's Ristretto-ns ≈ Bit Fusion parity on strided networks.
+	NaiveStride bool
+
+	// WeightBufCap is the on-chip weight-buffer capacity in bytes (0 =
+	// default 256 KiB, sized to Table VI's 0.302 mm² weight buffer). When a
+	// layer's compressed weights exceed it, they re-stream from DRAM once
+	// per spatial tile pass instead of being fetched once.
+	WeightBufCap int64
+
+	// DRAMBytesPerCycle bounds layer latency by off-chip bandwidth
+	// (roofline): cycles = max(compute, DRAMBytes/bandwidth). Zero means
+	// unbounded (compute-only, the paper's accounting).
+	DRAMBytesPerCycle float64
+}
+
+// DefaultConfig is the paper's single-core configuration versus Bit Fusion:
+// 32 compute tiles × 32 two-bit multipliers, w/a balancing.
+func DefaultConfig() Config {
+	return Config{Tiles: 32, Tile: TileConfig{Mults: 32, Gran: 2, FIFODepth: 4}, Policy: balance.WeightAct}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tiles == 0 {
+		c.Tiles = 32
+	}
+	c.Tile = c.Tile.withDefaults()
+	return c
+}
+
+// SimResult is the outcome of a cycle-simulated layer.
+type SimResult struct {
+	Output     *tensor.OutputMap // strided/padded conv output
+	Cycles     int64             // max over compute tiles (they synchronize per layer)
+	TileCycles []int64           // per compute tile
+	Stalls     int64
+	Products   int64
+	Counters   energy.Counters
+}
+
+// SimulateConv runs a whole (small) layer through the cycle-level tile
+// simulator: input channels are grouped onto compute tiles by the balancing
+// policy; each tile serially processes its channels' (spatial tile ×
+// channel) intersections; per-tile cycles sum and the layer latency is the
+// slowest tile. The numeric output is bit-exact against refconv.Conv.
+func SimulateConv(f *tensor.FeatureMap, w *tensor.KernelStack, stride, pad int, cfg Config) SimResult {
+	cfg = cfg.withDefaults()
+	tw, th := cfg.TileW, cfg.TileH
+	if tw == 0 {
+		tw = f.W
+	}
+	if th == 0 {
+		th = f.H
+	}
+
+	// Offline: per-channel static weight streams and balancing statistics.
+	wstreams := make([][]core.WeightAtom, f.C)
+	costs := make([]int64, f.C)
+	watoms := make([]int, f.C)
+	tatoms := make([]int, f.C)
+	actStreams := make(map[[2]int][]core.ActAtom) // (channel, tileIdx) → atoms
+	tiles := tensor.TileGrid(f.W, f.H, tw, th)
+	flatK, flatT := core.FlattenKernels, core.FlattenTile
+	if cfg.Dense {
+		flatK, flatT = core.FlattenKernelsDense, core.FlattenTileDense
+	}
+	for c := 0; c < f.C; c++ {
+		wstreams[c] = core.CompressWeights(flatK(w, c, nil), w.Bits, cfg.Tile.Gran, cfg.Dense)
+		watoms[c] = len(wstreams[c])
+		for ti, tl := range tiles {
+			acts := core.CompressActs(flatT(f, c, tl), f.Bits, cfg.Tile.Gran, cfg.Dense)
+			actStreams[[2]int{c, ti}] = acts
+			tatoms[c] += len(acts)
+		}
+		costs[c] = balance.Cost(tatoms[c], watoms[c], cfg.Tile.Mults)
+	}
+	groups := balance.Assign(cfg.Policy, costs, watoms, cfg.Tiles)
+
+	res := SimResult{TileCycles: make([]int64, cfg.Tiles)}
+	global := tensor.NewOutputMap(w.K, tensor.FullConvSize(f.H, w.KH), tensor.FullConvSize(f.W, w.KW))
+	for g, chans := range groups {
+		for _, c := range chans {
+			for ti, tl := range tiles {
+				tileFull := tensor.NewOutputMap(w.K, tl.H+w.KH-1, tl.W+w.KW-1)
+				r := SimulateIntersection(actStreams[[2]int{c, ti}], wstreams[c], w.KH, w.KW, tl.W, tl.H, tileFull, cfg.Tile)
+				res.TileCycles[g] += r.Cycles
+				res.Stalls += r.StallCycles
+				res.Products += r.Products
+				res.Counters.Add(r.Counters)
+				refconv.AddTileFull(global, tileFull, tl)
+			}
+		}
+	}
+	for _, c := range res.TileCycles {
+		if c > res.Cycles {
+			res.Cycles = c
+		}
+	}
+	res.Output = refconv.ExtractStrided(global, f.H, f.W, w.KH, w.KW, stride, pad)
+	return res
+}

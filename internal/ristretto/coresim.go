@@ -1,0 +1,394 @@
+package ristretto
+
+import (
+	"fmt"
+
+	"ristretto/internal/balance"
+	"ristretto/internal/core"
+	"ristretto/internal/energy"
+	"ristretto/internal/refconv"
+	"ristretto/internal/tensor"
+)
+
+// This file is the whole-core lockstep simulator: all M compute tiles of
+// Figure 7 advance in a single global cycle loop, contending for the shared
+// output buffer when they drain accumulate banks. Compared with
+// SimulateConv (which sums per-intersection cycle counts per tile), the
+// core simulator additionally models:
+//
+//   - the initial static-stream load of each round from the tile's local
+//     weight buffer (ping-pong hides subsequent loads, not the first);
+//   - the shared output buffer's write port: one tile drains per cycle,
+//     others queue (aggregation of "results of different compute tiles",
+//     Section IV-C4);
+//   - true concurrency, so the reported latency is the cycle the last tile
+//     retires — enabling cross-tile traces.
+
+// CoreSimConfig extends the tile configuration with core-level parameters.
+type CoreSimConfig struct {
+	Tiles      int
+	Tile       TileConfig
+	TileW      int
+	TileH      int
+	Policy     balance.Policy
+	LoadWidth  int // weight atoms loaded per cycle into the static registers (default 4)
+	DrainWidth int // accumulate-bank entries drained per cycle through the output port (default 8)
+
+	// Trace, when non-nil, receives a compact event stream of tile state
+	// transitions (see TraceEvent).
+	Trace Tracer
+}
+
+func (c CoreSimConfig) withDefaults() CoreSimConfig {
+	if c.Tiles == 0 {
+		c.Tiles = 4
+	}
+	c.Tile = c.Tile.withDefaults()
+	if c.LoadWidth == 0 {
+		c.LoadWidth = 4
+	}
+	if c.DrainWidth == 0 {
+		c.DrainWidth = 8
+	}
+	return c
+}
+
+// CoreSimResult reports a lockstep core simulation.
+type CoreSimResult struct {
+	Output     *tensor.OutputMap
+	Cycles     int64   // global cycles until the last tile retires
+	TileBusy   []int64 // cycles each tile spent non-idle
+	DrainWait  int64   // cycles tiles spent queued on the output port
+	LoadCycles int64   // cycles spent loading static streams
+	Stalls     int64   // crossbar/FIFO stalls inside tiles
+	Counters   energy.Counters
+}
+
+// tileJob is one (input channel, spatial tile) intersection assigned to a
+// compute tile.
+type tileJob struct {
+	acts    []core.ActAtom
+	weights []core.WeightAtom
+	tile    tensor.Tile
+	full    *tensor.OutputMap
+}
+
+type coreTileState int
+
+const (
+	tileLoading coreTileState = iota
+	tileStreaming
+	tileDraining
+	tileIdle
+)
+
+// coreTile is the per-tile state machine of the lockstep simulation.
+type coreTile struct {
+	cfg        TileConfig
+	loadWidth  int
+	drainWidth int
+	jobs       []tileJob
+	job        int
+	state      coreTileState
+
+	tc *traceCtx
+
+	chunks   [][]core.WeightAtom
+	chunk    int
+	loadLeft int
+	pos      int
+	slots    []slot
+	bank     map[bankKey]int32
+
+	drainLeft  int   // cycles of output-port occupancy requested
+	drainShift uint8 // decoupled weight-slice shift of the pending drain
+
+	busy int64
+}
+
+type bankKey struct {
+	k    uint16
+	addr int
+}
+
+func newCoreTile(cfg TileConfig, loadWidth, drainWidth int, jobs []tileJob, tc *traceCtx) *coreTile {
+	t := &coreTile{cfg: cfg, loadWidth: loadWidth, drainWidth: drainWidth, jobs: jobs, bank: map[bankKey]int32{}, tc: tc}
+	t.nextJob()
+	return t
+}
+
+func (t *coreTile) nextJob() {
+	for t.job < len(t.jobs) {
+		j := t.jobs[t.job]
+		if len(j.acts) == 0 || len(j.weights) == 0 {
+			t.job++
+			continue
+		}
+		t.tc.emit("job_start", t.job, 0, fmt.Sprintf("acts=%d watoms=%d", len(j.acts), len(j.weights)))
+		t.chunks = t.chunks[:0]
+		start := 0
+		for start < len(j.weights) {
+			end := start
+			for end < len(j.weights) && end-start < t.cfg.Mults && j.weights[end].Shift == j.weights[start].Shift {
+				end++
+			}
+			t.chunks = append(t.chunks, j.weights[start:end])
+			start = end
+		}
+		t.chunk = 0
+		t.startChunk()
+		return
+	}
+	t.state = tileIdle
+	t.tc.emit("tile_done", t.job, 0, "")
+}
+
+func (t *coreTile) startChunk() {
+	chunk := t.chunks[t.chunk]
+	t.slots = make([]slot, len(chunk))
+	for i := range t.slots {
+		t.slots[i].w = chunk[i]
+	}
+	t.pos = 0
+	t.tc.emit("chunk_start", t.job, t.chunk, fmt.Sprintf("m=%d shift=%d", len(chunk), chunk[0].Shift))
+	// The first chunk of a job loads its static stream explicitly; later
+	// chunks are hidden by the ping-pong registers.
+	if t.chunk == 0 {
+		t.loadLeft = (len(chunk) + t.loadWidth - 1) / t.loadWidth
+		t.state = tileLoading
+	} else {
+		t.state = tileStreaming
+	}
+}
+
+// step advances the tile one cycle. It returns counters deltas via res.
+func (t *coreTile) step(res *CoreSimResult, drainPortFree *bool) {
+	if t.state == tileIdle {
+		return
+	}
+	t.busy++
+	j := t.jobs[t.job]
+	switch t.state {
+	case tileLoading:
+		t.loadLeft--
+		res.LoadCycles++
+		res.Counters.WeightBufBytes += 4
+		if t.loadLeft <= 0 {
+			t.state = tileStreaming
+		}
+	case tileDraining:
+		if !*drainPortFree {
+			res.DrainWait++
+			return
+		}
+		*drainPortFree = false
+		t.drainLeft--
+		res.Counters.OutputBufBytes += int64(t.cfg.Mults) // port width in bytes/cycle
+		if t.drainLeft <= 0 {
+			t.tc.emit("drain_end", t.job, t.chunk, fmt.Sprintf("entries=%d shift=%d", len(t.bank), t.drainShift))
+			// Commit the bank contents with the decoupled shift.
+			fullW := j.tile.W + jobKW(j) - 1
+			for key, v := range t.bank {
+				j.full.Add(int(key.k), key.addr/fullW, key.addr%fullW, v<<t.drainShift)
+			}
+			t.bank = map[bankKey]int32{}
+			t.chunk++
+			if t.chunk < len(t.chunks) {
+				t.startChunk()
+			} else {
+				t.job++
+				t.nextJob()
+			}
+		}
+	case tileStreaming:
+		t.streamCycle(res)
+	}
+}
+
+func jobKW(j tileJob) int { return j.full.W - j.tile.W + 1 }
+func jobKH(j tileJob) int { return j.full.H - j.tile.H + 1 }
+
+// streamCycle is one pipeline cycle of the Atomputer/Atomulator, the same
+// semantics as SimulateIntersection but resumable.
+func (t *coreTile) streamCycle(res *CoreSimResult) {
+	j := t.jobs[t.job]
+	kh, kw := jobKH(j), jobKW(j)
+	fullW, fullH := j.tile.W+kw-1, j.tile.H+kh-1
+
+	// Crossbar: one delivery per bank per cycle.
+	written := map[uint16]bool{}
+	for s := range t.slots {
+		if len(t.slots[s].fifo) == 0 {
+			continue
+		}
+		d := t.slots[s].fifo[0]
+		if written[d.k] {
+			continue
+		}
+		written[d.k] = true
+		t.slots[s].fifo = t.slots[s].fifo[1:]
+		t.bank[bankKey{d.k, d.addr}] += d.val
+		res.Counters.AccBufBytes += 4
+	}
+
+	advance := true
+	for s := range t.slots {
+		if len(t.slots[s].fifo) >= t.cfg.FIFODepth {
+			advance = false
+			break
+		}
+	}
+	if advance {
+		for s := len(t.slots) - 1; s > 0; s-- {
+			t.slots[s].reg = t.slots[s-1].reg
+		}
+		if t.pos < len(j.acts) {
+			a := j.acts[t.pos]
+			t.pos++
+			t.slots[0].reg = &a
+			res.Counters.AtomizerOps++
+			res.Counters.InputBufBytes++
+		} else {
+			t.slots[0].reg = nil
+		}
+		for s := range t.slots {
+			a := t.slots[s].reg
+			if a == nil {
+				continue
+			}
+			res.Counters.AtomMuls++
+			t.slots[s].acc += int32(t.slots[s].w.Mag) * (int32(a.Mag) << a.Shift)
+			if a.Last {
+				v := t.slots[s].acc
+				if t.slots[s].w.Sign {
+					v = -v
+				}
+				t.slots[s].acc = 0
+				xo, yo := core.OutCoord(int(t.slots[s].w.X), int(t.slots[s].w.Y), int(a.X), int(a.Y), kh, kw)
+				if xo >= 0 && xo < fullW && yo >= 0 && yo < fullH {
+					t.slots[s].fifo = append(t.slots[s].fifo, delivery{k: t.slots[s].w.K, addr: core.OutAddr(xo, yo, j.tile.W, kw), val: v})
+				}
+			}
+		}
+	} else {
+		res.Stalls++
+	}
+
+	// Chunk complete when the stream has fully drained through the chain
+	// and FIFOs are empty; then request the output port for the bank drain
+	// if this is the last chunk of its slice.
+	if t.pos >= len(j.acts) {
+		empty := true
+		for s := range t.slots {
+			if t.slots[s].reg != nil || len(t.slots[s].fifo) != 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			shift := t.slots[0].w.Shift
+			lastOfSlice := t.chunk == len(t.chunks)-1 || t.chunks[t.chunk+1][0].Shift != shift
+			if lastOfSlice {
+				t.tc.emit("drain_start", t.job, t.chunk, "")
+				t.drainShift = shift
+				t.drainLeft = (len(t.bank) + t.drainWidth - 1) / t.drainWidth
+				if t.drainLeft < 1 {
+					t.drainLeft = 1
+				}
+				t.state = tileDraining
+			} else {
+				t.chunk++
+				t.startChunk()
+			}
+		}
+	}
+}
+
+// SimulateCore runs one layer through the lockstep core simulator and
+// extracts the strided output. The numeric result is bit-exact against
+// refconv.Conv.
+func SimulateCore(f *tensor.FeatureMap, w *tensor.KernelStack, stride, pad int, cfg CoreSimConfig) CoreSimResult {
+	cfg = cfg.withDefaults()
+	tw, th := cfg.TileW, cfg.TileH
+	if tw == 0 {
+		tw = f.W
+	}
+	if th == 0 {
+		th = f.H
+	}
+	tiles := tensor.TileGrid(f.W, f.H, tw, th)
+
+	// Offline: streams and balancing.
+	wstreams := make([][]core.WeightAtom, f.C)
+	costs := make([]int64, f.C)
+	watoms := make([]int, f.C)
+	for c := 0; c < f.C; c++ {
+		wstreams[c] = core.CompressWeights(core.FlattenKernels(w, c, nil), w.Bits, cfg.Tile.Gran, false)
+		watoms[c] = len(wstreams[c])
+	}
+	actStreams := map[[2]int][]core.ActAtom{}
+	tatoms := make([]int, f.C)
+	for c := 0; c < f.C; c++ {
+		for ti, tl := range tiles {
+			acts := core.CompressActs(core.FlattenTile(f, c, tl), f.Bits, cfg.Tile.Gran, false)
+			actStreams[[2]int{c, ti}] = acts
+			tatoms[c] += len(acts)
+		}
+		costs[c] = balance.Cost(tatoms[c], watoms[c], cfg.Tile.Mults)
+	}
+	groups := balance.Assign(cfg.Policy, costs, watoms, cfg.Tiles)
+
+	// Per-tile job lists; every job owns its private full buffer so the
+	// overlap-add stays race-free across tiles.
+	res := CoreSimResult{TileBusy: make([]int64, cfg.Tiles)}
+	cts := make([]*coreTile, cfg.Tiles)
+	tcs := make([]*traceCtx, cfg.Tiles)
+	for g := range tcs {
+		tcs[g] = &traceCtx{tracer: cfg.Trace, cycle: &res.Cycles, tile: g}
+	}
+	fulls := []tileJob{}
+	for g, chans := range groups {
+		var jobs []tileJob
+		for _, c := range chans {
+			for ti, tl := range tiles {
+				j := tileJob{
+					acts:    actStreams[[2]int{c, ti}],
+					weights: wstreams[c],
+					tile:    tl,
+					full:    tensor.NewOutputMap(w.K, tl.H+w.KH-1, tl.W+w.KW-1),
+				}
+				jobs = append(jobs, j)
+				fulls = append(fulls, j)
+			}
+		}
+		cts[g] = newCoreTile(cfg.Tile, cfg.LoadWidth, cfg.DrainWidth, jobs, tcs[g])
+	}
+
+	// Global cycle loop.
+	for {
+		allIdle := true
+		for _, ct := range cts {
+			if ct.state != tileIdle {
+				allIdle = false
+				break
+			}
+		}
+		if allIdle {
+			break
+		}
+		res.Cycles++
+		drainPortFree := true
+		for g, ct := range cts {
+			before := ct.busy
+			ct.step(&res, &drainPortFree)
+			res.TileBusy[g] += ct.busy - before
+		}
+	}
+
+	global := tensor.NewOutputMap(w.K, tensor.FullConvSize(f.H, w.KH), tensor.FullConvSize(f.W, w.KW))
+	for _, j := range fulls {
+		refconv.AddTileFull(global, j.full, j.tile)
+	}
+	res.Output = refconv.ExtractStrided(global, f.H, f.W, w.KH, w.KW, stride, pad)
+	return res
+}

@@ -1,0 +1,102 @@
+package ristretto
+
+import (
+	"math/rand"
+	"testing"
+
+	"ristretto/internal/atom"
+	"ristretto/internal/balance"
+	"ristretto/internal/refconv"
+	"ristretto/internal/workload"
+)
+
+func TestSimulateCoreBitExact(t *testing.T) {
+	cfgs := []CoreSimConfig{
+		{Tiles: 4, Tile: TileConfig{Mults: 8, Gran: 2}},
+		{Tiles: 1, Tile: TileConfig{Mults: 16, Gran: 2}},
+		{Tiles: 2, Tile: TileConfig{Mults: 4, Gran: 1}, TileW: 4, TileH: 4},
+		{Tiles: 8, Tile: TileConfig{Mults: 8, Gran: 3}},
+		{Tiles: 4, Tile: TileConfig{Mults: 8, Gran: 2}, Policy: balance.WeightAct, DrainWidth: 2, LoadWidth: 1},
+	}
+	for i, cfg := range cfgs {
+		g := workload.NewGen(int64(30 + i))
+		f := g.FeatureMapExact(3, 8, 8, 8, cfg.Tile.Gran, 0.5, 0.7)
+		w := g.KernelsExact(4, 3, 3, 3, 8, cfg.Tile.Gran, 0.6, 0.7)
+		res := SimulateCore(f, w, 1, 1, cfg)
+		want := refconv.Conv(f, w, 1, 1)
+		if !res.Output.Equal(want) {
+			t.Fatalf("cfg %d: core sim output wrong (maxdiff %d)", i, res.Output.MaxAbsDiff(want))
+		}
+		if res.Cycles <= 0 {
+			t.Fatalf("cfg %d: no cycles", i)
+		}
+	}
+}
+
+func TestSimulateCoreRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 8; i++ {
+		gran := atom.Granularity(rng.Intn(3) + 1)
+		cfg := CoreSimConfig{
+			Tiles: 1 + rng.Intn(6),
+			Tile:  TileConfig{Mults: 1 + rng.Intn(12), Gran: gran, FIFODepth: 1 + rng.Intn(4)},
+			TileW: 1 + rng.Intn(6), TileH: 1 + rng.Intn(6),
+			Policy: balance.Policy(rng.Intn(3)),
+		}
+		g := workload.NewGen(int64(40 + i))
+		abits := []int{2, 4, 8}[rng.Intn(3)]
+		wbits := []int{2, 4, 8}[rng.Intn(3)]
+		f := g.FeatureMapExact(1+rng.Intn(3), 4+rng.Intn(5), 4+rng.Intn(5), abits, gran, 0.5, 0.7)
+		w := g.KernelsExact(1+rng.Intn(4), f.C, 3, 3, wbits, gran, 0.6, 0.7)
+		stride, pad := 1+rng.Intn(2), rng.Intn(2)
+		res := SimulateCore(f, w, stride, pad, cfg)
+		want := refconv.Conv(f, w, stride, pad)
+		if !res.Output.Equal(want) {
+			t.Fatalf("iter %d: core sim wrong", i)
+		}
+	}
+}
+
+func TestSimulateCoreTracksSimulateConv(t *testing.T) {
+	// The lockstep core adds load and drain overheads on top of
+	// SimulateConv's per-tile cycle sums; it must never be faster, and
+	// should stay within ~40% on a medium layer.
+	g := workload.NewGen(50)
+	f := g.FeatureMap(6, 12, 12, 8, 0.5)
+	w := g.Kernels(8, 6, 3, 3, 8, 0.5)
+	tileCfg := TileConfig{Mults: 8, Gran: 2}
+	conv := SimulateConv(f, w, 1, 1, Config{Tiles: 3, Tile: tileCfg, Policy: balance.WeightAct})
+	core := SimulateCore(f, w, 1, 1, CoreSimConfig{Tiles: 3, Tile: tileCfg, Policy: balance.WeightAct})
+	if core.Cycles < conv.Cycles {
+		t.Fatalf("lockstep core (%d) cannot beat overhead-free per-tile sum (%d)", core.Cycles, conv.Cycles)
+	}
+	if float64(core.Cycles) > 1.4*float64(conv.Cycles) {
+		t.Fatalf("core overheads too large: %d vs %d", core.Cycles, conv.Cycles)
+	}
+}
+
+func TestSimulateCoreDrainContention(t *testing.T) {
+	// Many tiles sharing one output port must queue on drains.
+	g := workload.NewGen(51)
+	f := g.FeatureMapExact(8, 8, 8, 8, 2, 0.6, 0.8)
+	w := g.KernelsExact(8, 8, 3, 3, 8, 2, 0.6, 0.8)
+	res := SimulateCore(f, w, 1, 1, CoreSimConfig{Tiles: 8, Tile: TileConfig{Mults: 8, Gran: 2}, DrainWidth: 1})
+	if res.DrainWait == 0 {
+		t.Fatal("expected output-port contention with 8 tiles and a slow port")
+	}
+	if res.LoadCycles == 0 {
+		t.Fatal("expected weight-load cycles")
+	}
+}
+
+func TestSimulateCoreBusyBounded(t *testing.T) {
+	g := workload.NewGen(52)
+	f := g.FeatureMapExact(4, 8, 8, 8, 2, 0.5, 0.7)
+	w := g.KernelsExact(4, 4, 3, 3, 8, 2, 0.5, 0.7)
+	res := SimulateCore(f, w, 1, 1, CoreSimConfig{Tiles: 4, Tile: TileConfig{Mults: 8, Gran: 2}})
+	for i, b := range res.TileBusy {
+		if b > res.Cycles {
+			t.Fatalf("tile %d busy %d exceeds global cycles %d", i, b, res.Cycles)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package ristretto
+
+import (
+	"ristretto/internal/core"
+	"ristretto/internal/tensor"
+)
+
+// Section IV-D: Ristretto supports 16/32-bit inference two ways.
+//
+// Spatial extension simply widens the shift range: because atomization is
+// generic over operand bit-width, the same CSC pipeline handles 16-bit
+// operands directly (shifters cover {0,2,...,14}); core.Convolve works
+// unchanged with 16-bit tensors.
+//
+// Temporal decomposition is the more economical path: a high-precision model
+// splits into low-precision sub-models computed in sequence on unmodified
+// 8-bit hardware, with results shift-added. A 16-bit convolution becomes
+// four 8-bit convolutions:
+//
+//	a = aH·2⁸ + aL,  w = wH·2⁸ + wL  ⇒  a·w = (aH·wH)·2¹⁶ + (aH·wL + aL·wH)·2⁸ + aL·wL
+//
+// where aH/aL are unsigned bytes, wH is the arithmetic high byte (signed) and
+// wL the unsigned low byte.
+
+// SubModel is one low-precision slice of a temporally decomposed model.
+type SubModel struct {
+	F     *tensor.FeatureMap
+	W     *tensor.KernelStack
+	Shift uint // result is shifted left by this before aggregation
+}
+
+// TemporalDecompose splits a 16-bit layer into four 8-bit sub-models.
+// Activations must be unsigned 16-bit; weights signed 16-bit.
+func TemporalDecompose(f *tensor.FeatureMap, w *tensor.KernelStack) []SubModel {
+	if f.Bits != 16 || w.Bits != 16 {
+		panic("ristretto: temporal decomposition expects 16-bit operands")
+	}
+	aH := tensor.NewFeatureMap(f.C, f.H, f.W, 8)
+	aL := tensor.NewFeatureMap(f.C, f.H, f.W, 8)
+	for i, v := range f.Data {
+		aH.Data[i] = v >> 8
+		aL.Data[i] = v & 255
+	}
+	// wH is signed (arithmetic shift keeps the sign, range [-128,127]); wL
+	// is the raw low byte, unsigned in [0,255]. Both are stored at 9 bits:
+	// the sign-magnitude pipeline needs |v| < 1<<(bits-1), and both -128
+	// and 255 have 8-bit magnitudes.
+	wH := tensor.NewKernelStack(w.K, w.C, w.KH, w.KW, 9)
+	wL := tensor.NewKernelStack(w.K, w.C, w.KH, w.KW, 9)
+	for i, v := range w.Data {
+		wH.Data[i] = v >> 8
+		wL.Data[i] = v & 255
+	}
+	return []SubModel{
+		{F: aH, W: wH, Shift: 16},
+		{F: aH, W: wL, Shift: 8},
+		{F: aL, W: wH, Shift: 8},
+		{F: aL, W: wL, Shift: 0},
+	}
+}
+
+// ConvolveDecomposed runs each sub-model through CSC in sequence and
+// shift-adds the partial outputs — the temporal-decomposition inference
+// path. Returns the aggregated output and the summed CSC statistics.
+func ConvolveDecomposed(subs []SubModel, stride, pad int, cfg core.Config) (*tensor.OutputMap, core.Stats) {
+	var out *tensor.OutputMap
+	var total core.Stats
+	for _, s := range subs {
+		o, st := core.Convolve(s.F, s.W, stride, pad, cfg)
+		total.Steps += st.Steps
+		total.Products += st.Products
+		total.ActAtoms += st.ActAtoms
+		total.WeightAtoms += st.WeightAtoms
+		total.Rounds += st.Rounds
+		total.SliceDrains += st.SliceDrains
+		if out == nil {
+			out = tensor.NewOutputMap(o.K, o.H, o.W)
+		}
+		for i, v := range o.Data {
+			out.Data[i] += v << s.Shift
+		}
+	}
+	return out, total
+}

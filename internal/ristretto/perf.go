@@ -1,0 +1,219 @@
+package ristretto
+
+import (
+	"ristretto/internal/balance"
+	"ristretto/internal/energy"
+	"ristretto/internal/workload"
+)
+
+// LayerPerf is the analytic (Eq. 3–5) performance and energy estimate of one
+// layer on the Ristretto core. It is the full-network counterpart of the
+// cycle simulator, validated against it in the tests.
+type LayerPerf struct {
+	Cycles      int64   // slowest compute tile (tiles synchronize per layer)
+	IdealCycles int64   // total work / tile count: the balancing upper bound
+	TileCycles  []int64 // per compute tile
+	Utilization float64 // ideal / actual
+	MemoryBound bool    // true when the DRAM roofline set the latency
+	Counters    energy.Counters
+}
+
+// NetworkPerf aggregates layer estimates.
+type NetworkPerf struct {
+	Cycles   int64
+	Counters energy.Counters
+	Layers   []LayerPerf
+}
+
+// spatialTiles estimates how many block-COO tiles an H×W plane splits into
+// with the default 16×16 tiling (metadata coordinates are 8-bit, so tiles
+// are bounded; the exact tile size only affects second-order buffer-traffic
+// terms).
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+func spatialTiles(h, w int) int64 {
+	th := (h + 15) / 16
+	tw := (w + 15) / 16
+	return int64(th * tw)
+}
+
+// EstimateLayer applies the condensed-streaming latency model to one layer's
+// statistics:
+//
+//	per input channel c: cost_c = T_c · ⌈S_c/N⌉   (Eq. 3/5, ε omitted)
+//
+// where T_c counts the channel's non-zero activation atoms and S_c its
+// kernels' non-zero weight atoms. Channels are grouped onto the M compute
+// tiles by the configured balancing policy; the layer latency is the slowest
+// group because tiles synchronize on the shared output buffer.
+func EstimateLayer(st workload.LayerStats, cfg Config) LayerPerf {
+	cfg = cfg.withDefaults()
+	l := st.Layer
+	n := cfg.Tile.Mults
+
+	actAtoms := make([]int, l.C)
+	wAtoms := make([]int, l.C)
+	actVals := make([]int, l.C)
+	copy(actAtoms, st.ActAtomsPerChan)
+	copy(wAtoms, st.WAtomsPerChan)
+	copy(actVals, st.ActNZPerChan)
+	if cfg.Dense {
+		// Ristretto-ns: every value position streams all of its atoms.
+		aAtomsPerVal := cfg.Tile.Gran.Count(st.ABits)
+		wAtomsPerVal := cfg.Tile.Gran.Count(st.WBits - 1)
+		perChanVals := l.H * l.W
+		perChanW := l.K * l.KH * l.KW
+		for c := 0; c < l.C; c++ {
+			actAtoms[c] = perChanVals * aAtomsPerVal
+			wAtoms[c] = perChanW * wAtomsPerVal
+			actVals[c] = perChanVals
+		}
+	}
+
+	// Stride handling: by default strided layers are phase-decomposed
+	// (stride² independent stride-1 convolutions over coordinate phases),
+	// so only effectual outputs are computed. NaiveStride charges the full
+	// stride-1 intersection (Section IV-C3).
+	phases := 1
+	if l.Stride > 1 && !cfg.NaiveStride {
+		phases = l.Stride * l.Stride
+	}
+	costs := make([]int64, l.C)
+	var totalCost int64
+	for c := 0; c < l.C; c++ {
+		costs[c] = int64(phases) * balance.Cost(ceilDiv(actAtoms[c], phases), ceilDiv(wAtoms[c], phases), n)
+		totalCost += costs[c]
+	}
+
+	// Work units for balancing. Normally one unit per input channel; when
+	// the layer has fewer channels than compute tiles (input stems, AlexNet
+	// conv1), a channel's spatial block-COO tiles spread across compute
+	// tiles, so each channel splits into up to ⌈M/C⌉ spatial shares.
+	unitCosts := costs
+	unitWAtoms := wAtoms
+	if l.C < cfg.Tiles {
+		split := (cfg.Tiles + l.C - 1) / l.C
+		if s := int(spatialTiles(l.H, l.W)); split > s {
+			split = s
+		}
+		if split > 1 {
+			unitCosts = make([]int64, 0, l.C*split)
+			unitWAtoms = make([]int, 0, l.C*split)
+			for c := 0; c < l.C; c++ {
+				share := costs[c] / int64(split)
+				rem := costs[c] - share*int64(split)
+				for s := 0; s < split; s++ {
+					u := share
+					if s == 0 {
+						u += rem
+					}
+					unitCosts = append(unitCosts, u)
+					unitWAtoms = append(unitWAtoms, wAtoms[c])
+				}
+			}
+		}
+	}
+	groups := balance.Assign(cfg.Policy, unitCosts, unitWAtoms, cfg.Tiles)
+	tileCycles := balance.GroupCosts(groups, unitCosts)
+
+	p := LayerPerf{TileCycles: tileCycles}
+	for _, c := range tileCycles {
+		if c > p.Cycles {
+			p.Cycles = c
+		}
+	}
+	p.IdealCycles = (totalCost + int64(cfg.Tiles) - 1) / int64(cfg.Tiles)
+	if p.Cycles > 0 {
+		p.Utilization = float64(p.IdealCycles) / float64(p.Cycles)
+	}
+
+	// Energy-bearing event counts (per stride phase, then summed — the
+	// phase decomposition divides both streams).
+	tiles := spatialTiles(l.H, l.W)
+	ph := int64(phases)
+	for c := 0; c < l.C; c++ {
+		aAt := int64(ceilDiv(actAtoms[c], phases))
+		wAt := int64(ceilDiv(wAtoms[c], phases))
+		aVal := int64(ceilDiv(actVals[c], phases))
+		rounds := int64(0)
+		if wAt > 0 {
+			rounds = (wAt + int64(n) - 1) / int64(n)
+		}
+		p.Counters.AtomMuls += ph * aAt * wAt
+		p.Counters.AtomizerOps += ph * aAt * rounds
+		// Activation words re-read from the input buffer once per round;
+		// block-COO payload plus 4+4-bit tile-relative coordinates.
+		actBytes := aVal * int64(st.ABits+8) / 8
+		p.Counters.InputBufBytes += ph * actBytes * rounds
+		// Static weight stream reloaded once per spatial tile pass.
+		p.Counters.WeightBufBytes += int64(wAtoms[c]) * tiles
+		// One accumulate-buffer write per delivery: each non-zero
+		// activation value delivers at every weight-atom slot.
+		p.Counters.AccBufBytes += 4 * ph * aVal * wAt
+	}
+	// Slice drains: the accumulate banks are read and aggregated into the
+	// output buffer once per weight slice.
+	slices := int64(cfg.Tile.Gran.Count(st.WBits - 1))
+	outVals := int64(l.K) * int64(l.OutH()) * int64(l.OutW())
+	p.Counters.AccBufBytes += 4 * outVals * slices
+	p.Counters.OutputBufBytes += 4 * outVals * slices
+
+	// Off-chip traffic: block-COO activations (payload + 4+4-bit tile
+	// coordinates) in, value-compressed weights (bitmask + non-zero
+	// payloads; the cheap atom metadata — shifts, signs, last flags — is
+	// derived on-chip when filling the weight buffer), compressed outputs
+	// (post-processed back to block COO) out. Output density is taken from
+	// the input's value density, the best available proxy.
+	var actNZ int64
+	for c := 0; c < l.C; c++ {
+		actNZ += int64(actVals[c])
+	}
+	wNZ := int64(st.W.NonZero)
+	if cfg.Dense {
+		wNZ = l.Weights()
+	}
+	// Weight-buffer capacity: when a layer's compressed weights overflow
+	// the on-chip weight buffer, they are processed in partitions and the
+	// activations re-stream from DRAM once per partition. Compression
+	// directly reduces the partition count — one of the format's payoffs.
+	wDRAM := l.Weights()/8 + wNZ*int64(st.WBits)/8
+	passes := energy.WeightPassAmplification(wDRAM, cfg.WeightBufCap)
+	p.Counters.DRAMBytes += actNZ * int64(st.ABits+8) / 8 * passes
+	p.Counters.DRAMBytes += wDRAM
+	outDensity := st.A.ValueDensity
+	if cfg.Dense {
+		outDensity = 1
+	}
+	p.Counters.DRAMBytes += int64(float64(outVals)*outDensity) * int64(st.ABits+8) / 8
+
+	// Roofline: a finite DRAM bandwidth can cap the layer below its
+	// compute latency (common on compressed-away compute at 2 bits).
+	if cfg.DRAMBytesPerCycle > 0 {
+		memCycles := int64(float64(p.Counters.DRAMBytes) / cfg.DRAMBytesPerCycle)
+		if memCycles > p.Cycles {
+			p.Cycles = memCycles
+			p.MemoryBound = true
+			if p.Cycles > 0 {
+				p.Utilization = float64(p.IdealCycles) / float64(p.Cycles)
+			}
+		}
+	}
+	return p
+}
+
+// EstimateNetwork sums per-layer estimates under one configuration.
+func EstimateNetwork(stats []workload.LayerStats, cfg Config) NetworkPerf {
+	var np NetworkPerf
+	for _, st := range stats {
+		lp := EstimateLayer(st, cfg)
+		np.Cycles += lp.Cycles
+		np.Counters.Add(lp.Counters)
+		np.Layers = append(np.Layers, lp)
+	}
+	return np
+}

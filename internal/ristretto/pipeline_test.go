@@ -1,0 +1,106 @@
+package ristretto
+
+import (
+	"testing"
+
+	"ristretto/internal/atom"
+	"ristretto/internal/core"
+	"ristretto/internal/refconv"
+	"ristretto/internal/tensor"
+	"ristretto/internal/workload"
+)
+
+func TestPostProcessorReLUAndClamp(t *testing.T) {
+	o := tensor.NewOutputMap(1, 1, 4)
+	o.Set(0, 0, 0, -50)  // ReLU → 0
+	o.Set(0, 0, 1, 12)   // 12>>2 = 3
+	o.Set(0, 0, 2, 4000) // clamps to 15 at 4 bits
+	o.Set(0, 0, 3, 0)
+	f, counts := PostProcessor{OutBits: 4, Gran: 2, ShiftRight: 2}.Run(o)
+	if f.At(0, 0, 0) != 0 || f.At(0, 0, 1) != 3 || f.At(0, 0, 2) != 15 || f.At(0, 0, 3) != 0 {
+		t.Fatalf("post-processed values wrong: %v", f.Data)
+	}
+	// atoms: 3 → one 2-bit atom; 15 → two.
+	if counts[0] != 3 {
+		t.Fatalf("atom count = %d, want 3", counts[0])
+	}
+}
+
+func TestPostProcessorCountsMatchAtomPackage(t *testing.T) {
+	g := workload.NewGen(1)
+	f := g.FeatureMapExact(3, 6, 6, 8, 2, 0.6, 0.7)
+	w := g.KernelsExact(4, 3, 3, 3, 8, 2, 0.6, 0.7)
+	out := refconv.Conv(f, w, 1, 1)
+	shift := RequantShift(out, 8)
+	fm, counts := PostProcessor{OutBits: 8, Gran: 2, ShiftRight: shift}.Run(out)
+	for k := 0; k < fm.C; k++ {
+		want := atom.TotalNonZeroAtoms(fm.Channel(k), 8, 2)
+		if counts[k] != want {
+			t.Fatalf("channel %d: PPU count %d != atom package %d", k, counts[k], want)
+		}
+	}
+}
+
+func TestRequantShiftBoundsRange(t *testing.T) {
+	o := tensor.NewOutputMap(1, 1, 2)
+	o.Set(0, 0, 0, 100000)
+	s := RequantShift(o, 8)
+	if 100000>>s > 255 {
+		t.Fatalf("shift %d leaves value out of range", s)
+	}
+	if s > 0 && 100000>>(s-1) <= 255 {
+		t.Fatalf("shift %d not minimal", s)
+	}
+}
+
+func TestPipelineMatchesReferenceChain(t *testing.T) {
+	// Three-layer CNN through CSC must equal the same chain computed with
+	// the dense reference convolution and identical post-processing.
+	g := workload.NewGen(2)
+	input := g.FeatureMap(4, 12, 12, 8, 0.5)
+	mk := func(k, c, ks, bits int) *tensor.KernelStack {
+		return g.KernelsExact(k, c, ks, ks, bits, 2, 0.5, 0.7)
+	}
+	layers := []PipelineLayer{
+		{Kernels: mk(8, 4, 3, 4), Stride: 1, Pad: 1, Post: PostProcessor{OutBits: 8, Gran: 2, ShiftRight: 4}},
+		{Kernels: mk(6, 8, 3, 8), Stride: 2, Pad: 1, Post: PostProcessor{OutBits: 4, Gran: 2, ShiftRight: 7}},
+		{Kernels: mk(5, 6, 1, 4), Stride: 1, Pad: 0, Post: PostProcessor{OutBits: 8, Gran: 2, ShiftRight: 2}},
+	}
+	got := RunPipeline(input, layers, core.Config{Gran: 2, Multiplier: 16})
+
+	cur := input
+	var want *tensor.FeatureMap
+	for _, l := range layers {
+		out := refconv.Conv(cur, l.Kernels, l.Stride, l.Pad)
+		fm, _ := l.Post.Run(out)
+		want, cur = fm, fm
+	}
+	if got.Output.C != want.C || got.Output.H != want.H || got.Output.W != want.W {
+		t.Fatalf("shape mismatch: %v vs %v", got.Output, want)
+	}
+	for i := range want.Data {
+		if got.Output.Data[i] != want.Data[i] {
+			t.Fatalf("pipeline diverges from reference chain at %d: %d vs %d", i, got.Output.Data[i], want.Data[i])
+		}
+	}
+	if len(got.Stats) != 3 || len(got.AtomStats) != 3 {
+		t.Fatalf("per-layer stats missing: %d %d", len(got.Stats), len(got.AtomStats))
+	}
+}
+
+func TestPipelineAtomStatsFeedBalancer(t *testing.T) {
+	// The PPU's per-channel atom counts are the T_c of the *next* layer:
+	// they must equal what StatsFromTensors would measure on the produced
+	// feature map.
+	g := workload.NewGen(3)
+	input := g.FeatureMap(3, 10, 10, 8, 0.6)
+	k := g.KernelsExact(5, 3, 3, 3, 4, 2, 0.5, 0.7)
+	layers := []PipelineLayer{{Kernels: k, Stride: 1, Pad: 1, Post: PostProcessor{OutBits: 8, Gran: 2, ShiftRight: 5}}}
+	res := RunPipeline(input, layers, core.Config{Gran: 2, Multiplier: 8})
+	for c := 0; c < res.Output.C; c++ {
+		want := atom.TotalNonZeroAtoms(res.Output.Channel(c), 8, 2)
+		if res.AtomStats[0][c] != want {
+			t.Fatalf("channel %d: %d vs %d", c, res.AtomStats[0][c], want)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package ristretto
+
+import (
+	"fmt"
+
+	"ristretto/internal/atom"
+	"ristretto/internal/tensor"
+)
+
+// PostProcessor models the post-processing unit of Figure 7: when a group of
+// output feature maps is complete in the output buffer, it applies ReLU and
+// requantization, squeezes out the zero values (producing the next layer's
+// block-COO input), and — with an Atomizer-like scanner — counts the
+// non-zero atoms of each output channel. Those counts are exactly the
+// activation statistics the w/a load balancer needs for the next layer
+// (Section IV-E), which is why Ristretto can balance on both operands while
+// prior accelerators could not.
+type PostProcessor struct {
+	OutBits    int              // requantized activation bit-width
+	Gran       atom.Granularity // atom granularity for the statistics scan
+	ShiftRight uint             // requantization scale as a right shift
+}
+
+// Run converts raw partial sums into the next layer's activation tensor:
+// ReLU, arithmetic right shift, clamp to [0, 1<<OutBits). It returns the
+// feature map plus the per-channel non-zero atom counts.
+func (p PostProcessor) Run(o *tensor.OutputMap) (*tensor.FeatureMap, []int) {
+	if p.OutBits < 1 || p.OutBits > 16 {
+		panic(fmt.Sprintf("ristretto: bad requantization width %d", p.OutBits))
+	}
+	gran := p.Gran
+	if gran == 0 {
+		gran = 2
+	}
+	f := tensor.NewFeatureMap(o.K, o.H, o.W, p.OutBits)
+	counts := make([]int, o.K)
+	limit := int32(1)<<p.OutBits - 1
+	for k := 0; k < o.K; k++ {
+		src := o.Data[k*o.H*o.W : (k+1)*o.H*o.W]
+		dst := f.Channel(k)
+		for i, v := range src {
+			if v <= 0 {
+				continue // ReLU
+			}
+			q := v >> p.ShiftRight
+			if q > limit {
+				q = limit
+			}
+			dst[i] = q
+			if q != 0 {
+				counts[k] += atom.CountNonZero(q, p.OutBits, gran)
+			}
+		}
+	}
+	return f, counts
+}
+
+// RequantShift picks a right shift that maps the largest observed partial
+// sum into the OutBits range — the static per-layer scale a deployed model
+// would calibrate offline.
+func RequantShift(o *tensor.OutputMap, outBits int) uint {
+	var max int32
+	for _, v := range o.Data {
+		if v > max {
+			max = v
+		}
+	}
+	var s uint
+	for max>>s > int32(1)<<outBits-1 {
+		s++
+	}
+	return s
+}

@@ -1,0 +1,72 @@
+package ristretto
+
+import (
+	"testing"
+
+	"ristretto/internal/model"
+	"ristretto/internal/workload"
+)
+
+func rooflineStats(t *testing.T) workload.LayerStats {
+	t.Helper()
+	g := workload.NewGen(21)
+	l := model.Layer{Name: "t", C: 16, H: 14, W: 14, K: 16, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	return g.LayerStats(l, 2, 2, 2, workload.EvalTargets("VGG-16", 2, 2), true)
+}
+
+func TestRooflineUnboundedByDefault(t *testing.T) {
+	st := rooflineStats(t)
+	p := EstimateLayer(st, DefaultConfig())
+	if p.MemoryBound {
+		t.Fatal("default config must not apply a bandwidth bound")
+	}
+}
+
+func TestRooflineCapsThinCompute(t *testing.T) {
+	st := rooflineStats(t)
+	cfg := DefaultConfig()
+	free := EstimateLayer(st, cfg)
+	cfg.DRAMBytesPerCycle = 0.05 // starved: 1 byte per 20 cycles
+	bound := EstimateLayer(st, cfg)
+	if !bound.MemoryBound {
+		t.Fatal("starved bandwidth must bind the layer")
+	}
+	if bound.Cycles <= free.Cycles {
+		t.Fatalf("memory-bound cycles %d must exceed compute-bound %d", bound.Cycles, free.Cycles)
+	}
+	if bound.Utilization >= free.Utilization {
+		t.Fatal("utilization must fall when memory-bound")
+	}
+}
+
+func TestRooflineGenerousBandwidthNoEffect(t *testing.T) {
+	st := rooflineStats(t)
+	cfg := DefaultConfig()
+	free := EstimateLayer(st, cfg)
+	cfg.DRAMBytesPerCycle = 1 << 20
+	rich := EstimateLayer(st, cfg)
+	if rich.Cycles != free.Cycles || rich.MemoryBound {
+		t.Fatal("generous bandwidth must leave compute-bound latency unchanged")
+	}
+}
+
+func TestWeightPassAmplificationInPerf(t *testing.T) {
+	// A layer whose weights exceed the configured weight buffer must incur
+	// more DRAM traffic than with an ample buffer.
+	g := workload.NewGen(22)
+	l := model.Layer{Name: "big", C: 64, H: 14, W: 14, K: 128, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	st := g.LayerStats(l, 8, 8, 2, workload.Targets{WDensity: 0.6, ADensity: 0.5}, true)
+	small := DefaultConfig()
+	small.WeightBufCap = 4 << 10
+	big := DefaultConfig()
+	big.WeightBufCap = 64 << 20
+	ps := EstimateLayer(st, small)
+	pb := EstimateLayer(st, big)
+	if ps.Counters.DRAMBytes <= pb.Counters.DRAMBytes {
+		t.Fatalf("tiny weight buffer (%d B DRAM) must cost more than ample (%d B)",
+			ps.Counters.DRAMBytes, pb.Counters.DRAMBytes)
+	}
+	if ps.Cycles != pb.Cycles {
+		t.Fatal("without a bandwidth bound, buffer capacity must not change cycles")
+	}
+}

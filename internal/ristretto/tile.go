@@ -1,0 +1,252 @@
+// Package ristretto implements the Ristretto accelerator of Section IV: a
+// cycle-level simulator of one compute tile (Atomizer → Atomputer →
+// Atomulator → accumulate buffer) that is bit-exact against the dense
+// reference convolution, plus the analytic multi-tile performance and energy
+// model (Eq. 3–5) used for full-network evaluation and cross-validated
+// against the cycle simulator.
+package ristretto
+
+import (
+	"fmt"
+
+	"ristretto/internal/atom"
+	"ristretto/internal/core"
+	"ristretto/internal/energy"
+	"ristretto/internal/tensor"
+)
+
+// TileConfig parameterizes one compute tile.
+type TileConfig struct {
+	Mults     int              // N: atom multipliers / static-stream slots
+	Gran      atom.Granularity // atom bit-width
+	FIFODepth int              // Atomulator FIFO depth before the crossbar
+	Banks     int              // accumulate-buffer banks (default: Mults)
+}
+
+func (c TileConfig) withDefaults() TileConfig {
+	if c.Mults == 0 {
+		c.Mults = 32
+	}
+	if c.Gran == 0 {
+		c.Gran = 2
+	}
+	if c.FIFODepth == 0 {
+		c.FIFODepth = 4
+	}
+	if c.Banks == 0 {
+		c.Banks = c.Mults
+	}
+	return c
+}
+
+// TileResult reports one intersection run on the cycle simulator.
+type TileResult struct {
+	Cycles      int64 // pipeline cycles including stalls, with ping-pong round overlap
+	StallCycles int64 // cycles lost to crossbar/FIFO back-pressure
+	Products    int64 // atom multiplications performed
+	Deliveries  int64 // accumulator deliveries routed through the crossbar
+	Rounds      int   // static-stream chunks processed
+	Counters    energy.Counters
+}
+
+// delivery is one accumulated product on its way to an accumulate bank.
+type delivery struct {
+	k    uint16 // output channel (selects the bank)
+	addr int    // Eq. 2 address within the bank
+	val  int32  // sign-applied, activation-shift-applied partial sum
+}
+
+// slot is one stage of the Atomputer chain plus its Atomulator address
+// generator and pre-crossbar FIFO.
+type slot struct {
+	w    core.WeightAtom
+	acc  int32
+	reg  *core.ActAtom // activation atom currently at this stage
+	fifo []delivery
+}
+
+// SimulateIntersection runs one (input channel, spatial tile) intersection on
+// the cycle-level tile model: the weight atom stream is split into static
+// chunks that never straddle a slice boundary (so every accumulate-bank drain
+// has a single decoupled shift); for each chunk the activation stream flows
+// through the systolic multiplier chain one atom per cycle; accumulator
+// deliveries are routed through per-slot FIFOs and a crossbar that accepts
+// one write per bank per cycle, stalling the pipeline on back-pressure.
+//
+// Numerical results accumulate into out (the K×fullH×fullW full-convolution
+// buffer); cycle accounting credits the ping-pong weight registers: a
+// non-final round costs t (+stalls) cycles because its drain overlaps the
+// next round's fill (Eq. 3/4).
+func SimulateIntersection(acts []core.ActAtom, weights []core.WeightAtom, kh, kw, tileW, tileH int, out *tensor.OutputMap, cfg TileConfig) TileResult {
+	cfg = cfg.withDefaults()
+	fullW, fullH := tileW+kw-1, tileH+kh-1
+	if out.W != fullW || out.H != fullH {
+		panic(fmt.Sprintf("ristretto: out buffer %dx%d, want %dx%d", out.W, out.H, fullW, fullH))
+	}
+	var res TileResult
+	if len(acts) == 0 || len(weights) == 0 {
+		return res
+	}
+
+	// Split the static stream into slice-aligned chunks of at most N atoms.
+	var chunks [][]core.WeightAtom
+	start := 0
+	for start < len(weights) {
+		end := start
+		for end < len(weights) && end-start < cfg.Mults && weights[end].Shift == weights[start].Shift {
+			end++
+		}
+		chunks = append(chunks, weights[start:end])
+		start = end
+	}
+
+	// Accumulate banks, persistent within a slice: (channel, addr) → value.
+	type bankKey struct {
+		k    uint16
+		addr int
+	}
+	bank := map[bankKey]int32{}
+	drain := func(shift uint8) {
+		for key, v := range bank {
+			yo := key.addr / fullW
+			xo := key.addr % fullW
+			out.Add(int(key.k), yo, xo, v<<shift)
+			res.Counters.AccBufBytes += 4    // drain read
+			res.Counters.OutputBufBytes += 4 // aggregation write
+		}
+		bank = map[bankKey]int32{}
+	}
+
+	for ci, chunk := range chunks {
+		res.Rounds++
+		m := len(chunk)
+		slots := make([]slot, m)
+		for j := range slots {
+			slots[j].w = chunk[j]
+		}
+		res.Counters.WeightBufBytes += int64(m) // static-stream load (1B/atom incl. metadata)
+		pos := 0
+		entered := int64(0) // cycles until the last act atom entered the chain
+		cycles := int64(0)
+		for {
+			// 1. Crossbar: each bank accepts one delivery per cycle.
+			written := map[uint16]bool{}
+			for j := range slots {
+				if len(slots[j].fifo) == 0 {
+					continue
+				}
+				d := slots[j].fifo[0]
+				if written[d.k] {
+					continue
+				}
+				written[d.k] = true
+				slots[j].fifo = slots[j].fifo[1:]
+				bank[bankKey{d.k, d.addr}] += d.val
+				res.Counters.AccBufBytes += 4
+			}
+
+			// 2. Advance unless any FIFO is full (conservative stall).
+			advance := true
+			for j := range slots {
+				if len(slots[j].fifo) >= cfg.FIFODepth {
+					advance = false
+					break
+				}
+			}
+			done := pos >= len(acts)
+			if advance {
+				// Systolic shift.
+				for j := m - 1; j > 0; j-- {
+					slots[j].reg = slots[j-1].reg
+				}
+				if pos < len(acts) {
+					a := acts[pos]
+					pos++
+					slots[0].reg = &a
+					res.Counters.AtomizerOps++
+				} else {
+					slots[0].reg = nil
+				}
+				// Multiply/accumulate at every occupied stage.
+				for j := range slots {
+					a := slots[j].reg
+					if a == nil {
+						continue
+					}
+					res.Products++
+					res.Counters.AtomMuls++
+					slots[j].acc += int32(slots[j].w.Mag) * (int32(a.Mag) << a.Shift)
+					if a.Last {
+						v := slots[j].acc
+						if slots[j].w.Sign {
+							v = -v
+						}
+						slots[j].acc = 0
+						xo, yo := core.OutCoord(int(slots[j].w.X), int(slots[j].w.Y), int(a.X), int(a.Y), kh, kw)
+						if xo >= 0 && xo < fullW && yo >= 0 && yo < fullH { // comp module
+							slots[j].fifo = append(slots[j].fifo, delivery{k: slots[j].w.K, addr: core.OutAddr(xo, yo, tileW, kw), val: v})
+							res.Deliveries++
+						}
+					}
+				}
+			} else if !done {
+				res.StallCycles++
+			}
+			cycles++
+			if pos >= len(acts) && entered == 0 {
+				entered = cycles
+			}
+			// Finished when the stream is consumed, the chain has drained
+			// and all FIFOs are empty.
+			if pos >= len(acts) {
+				empty := true
+				for j := range slots {
+					if slots[j].reg != nil || len(slots[j].fifo) != 0 {
+						empty = false
+						break
+					}
+				}
+				if empty {
+					break
+				}
+			}
+		}
+		// Ping-pong overlap: all but the final chunk hide their drain under
+		// the next chunk's fill.
+		last := ci == len(chunks)-1
+		if last {
+			res.Cycles += cycles
+		} else {
+			res.Cycles += entered
+		}
+		// Drain the accumulate banks at slice boundaries (decoupled shift).
+		if last || chunks[ci+1][0].Shift != chunk[0].Shift {
+			drain(chunk[0].Shift)
+		}
+		// The activation stream is re-read from the input buffer each round.
+		res.Counters.InputBufBytes += int64(len(acts)) // ≈1B per atom incl. coords
+	}
+	return res
+}
+
+// SliceAlignedSteps predicts the stall-free cycle count of
+// SimulateIntersection: like core.Steps (Eq. 3/4) but with rounds that never
+// straddle weight-slice boundaries.
+func SliceAlignedSteps(t int, weights []core.WeightAtom, n int) int64 {
+	if t == 0 || len(weights) == 0 {
+		return 0
+	}
+	rounds := 0
+	lastChunk := 0
+	start := 0
+	for start < len(weights) {
+		end := start
+		for end < len(weights) && end-start < n && weights[end].Shift == weights[start].Shift {
+			end++
+		}
+		rounds++
+		lastChunk = end - start
+		start = end
+	}
+	return int64(t)*int64(rounds) + int64(lastChunk) - 1
+}

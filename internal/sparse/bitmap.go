@@ -1,0 +1,114 @@
+package sparse
+
+import "fmt"
+
+// BitmapVec is SparTen's compression format: a dense bitmask recording which
+// positions of a logical vector are non-zero, plus the packed non-zero values
+// in order. SparTen's inner-join ANDs two bitmasks and uses priority encoding
+// plus prefix sums over them to extract matched weight/activation pairs.
+type BitmapVec struct {
+	N    int      // logical vector length
+	Bits int      // value bit-width
+	Mask []uint64 // ceil(N/64) words, bit i set iff position i is non-zero
+	Vals []int32  // packed non-zero values, ascending position order
+}
+
+// EncodeBitmap compresses v into bitmap form.
+func EncodeBitmap(v []int32, bits int) *BitmapVec {
+	b := &BitmapVec{N: len(v), Bits: bits, Mask: make([]uint64, (len(v)+63)/64)}
+	for i, x := range v {
+		if x != 0 {
+			b.Mask[i/64] |= 1 << uint(i%64)
+			b.Vals = append(b.Vals, x)
+		}
+	}
+	return b
+}
+
+// Decode expands the bitmap back into a dense vector.
+func (b *BitmapVec) Decode() []int32 {
+	out := make([]int32, b.N)
+	vi := 0
+	for i := 0; i < b.N; i++ {
+		if b.Mask[i/64]&(1<<uint(i%64)) != 0 {
+			out[i] = b.Vals[vi]
+			vi++
+		}
+	}
+	return out
+}
+
+// NNZ returns the number of non-zero values.
+func (b *BitmapVec) NNZ() int { return len(b.Vals) }
+
+// SizeBits returns the encoded size: the full-length bitmask plus the packed
+// payload.
+func (b *BitmapVec) SizeBits() int { return b.N + len(b.Vals)*b.Bits }
+
+// MatchCount returns the number of positions where both vectors are non-zero
+// — the inner-join workload (one matched pair is extracted per cycle per
+// inner-join module in SparTen).
+func MatchCount(a, w *BitmapVec) int {
+	if a.N != w.N {
+		panic(fmt.Sprintf("sparse: bitmap length mismatch %d vs %d", a.N, w.N))
+	}
+	cnt := 0
+	for i := range a.Mask {
+		cnt += popcount64(a.Mask[i] & w.Mask[i])
+	}
+	return cnt
+}
+
+// MatchedPairs extracts the (activation, weight) value pairs at the matched
+// positions, in ascending position order — exactly what the inner-join feeds
+// the MAC. The scalar product of the vectors is the sum of pair products.
+func MatchedPairs(a, w *BitmapVec) [][2]int32 {
+	if a.N != w.N {
+		panic("sparse: bitmap length mismatch")
+	}
+	var out [][2]int32
+	ai, wi := 0, 0
+	for i := 0; i < a.N; i++ {
+		word, bit := i/64, uint(i%64)
+		an := a.Mask[word]&(1<<bit) != 0
+		wn := w.Mask[word]&(1<<bit) != 0
+		if an && wn {
+			out = append(out, [2]int32{a.Vals[ai], w.Vals[wi]})
+		}
+		if an {
+			ai++
+		}
+		if wn {
+			wi++
+		}
+	}
+	return out
+}
+
+// LaneMatchCounts partitions the logical vector into lanes contiguous
+// sub-ranges of laneLen positions and returns the per-lane matched-pair
+// counts. SparTen-mp runs one inner-join per lane in parallel; the slowest
+// lane bounds extraction throughput (Section II-B2a).
+func LaneMatchCounts(a, w *BitmapVec, laneLen int) []int {
+	if a.N != w.N {
+		panic("sparse: bitmap length mismatch")
+	}
+	lanes := (a.N + laneLen - 1) / laneLen
+	counts := make([]int, lanes)
+	for i := 0; i < a.N; i++ {
+		word, bit := i/64, uint(i%64)
+		if a.Mask[word]&w.Mask[word]&(1<<bit) != 0 {
+			counts[i/laneLen]++
+		}
+	}
+	return counts
+}
+
+func popcount64(x uint64) int {
+	cnt := 0
+	for x != 0 {
+		x &= x - 1
+		cnt++
+	}
+	return cnt
+}

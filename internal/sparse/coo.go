@@ -1,0 +1,154 @@
+// Package sparse implements the compressed tensor formats used by the
+// accelerators in this study: the block COO-2D format Ristretto uses for
+// feature-map tiles and kernels (Figure 8), the bitmap format SparTen uses for
+// chunked vectors, and CSR as a conventional reference.
+//
+// Besides encode/decode, every format reports its encoded size in bits
+// (payload plus metadata), which drives the buffer/DRAM traffic accounting in
+// the energy models.
+package sparse
+
+import (
+	"fmt"
+
+	"ristretto/internal/tensor"
+)
+
+// COOEntry is one non-zero value with its spatial offset within a tile.
+// The coordinate is the offset from the tile origin (block COO-2D), so tiles
+// up to 256×256 need only one byte per axis.
+type COOEntry struct {
+	X, Y uint8
+	Val  int32
+}
+
+// TileCOO is a block COO-2D encoding of one channel plane of one tile:
+// a compact list of non-zero values in zigzag (row-major) order plus the tile
+// geometry needed to reconstruct absolute coordinates.
+type TileCOO struct {
+	Tile    tensor.Tile
+	Channel int
+	Bits    int // value bit-width
+	Entries []COOEntry
+}
+
+// EncodeTile extracts the non-zero activations of channel c within tile tl of
+// f, in row-major (zigzag-flattened) order.
+func EncodeTile(f *tensor.FeatureMap, c int, tl tensor.Tile) *TileCOO {
+	if tl.W > 256 || tl.H > 256 {
+		panic(fmt.Sprintf("sparse: tile %v exceeds COO-2D 8-bit coordinate range", tl))
+	}
+	t := &TileCOO{Tile: tl, Channel: c, Bits: f.Bits}
+	for y := 0; y < tl.H; y++ {
+		for x := 0; x < tl.W; x++ {
+			v := f.At(c, tl.Y0+y, tl.X0+x)
+			if v != 0 {
+				t.Entries = append(t.Entries, COOEntry{X: uint8(x), Y: uint8(y), Val: v})
+			}
+		}
+	}
+	return t
+}
+
+// Decode scatters the entries back into dst (which must contain the tile).
+// Positions not covered by an entry are left untouched, so dst should be
+// zeroed over the tile first; DecodeInto handles that.
+func (t *TileCOO) Decode(dst *tensor.FeatureMap) {
+	for _, e := range t.Entries {
+		dst.Set(t.Channel, t.Tile.Y0+int(e.Y), t.Tile.X0+int(e.X), e.Val)
+	}
+}
+
+// DecodeInto zeroes the tile region of dst and scatters the entries.
+func (t *TileCOO) DecodeInto(dst *tensor.FeatureMap) {
+	for y := 0; y < t.Tile.H; y++ {
+		for x := 0; x < t.Tile.W; x++ {
+			dst.Set(t.Channel, t.Tile.Y0+y, t.Tile.X0+x, 0)
+		}
+	}
+	t.Decode(dst)
+}
+
+// NNZ returns the number of encoded non-zero values.
+func (t *TileCOO) NNZ() int { return len(t.Entries) }
+
+// SizeBits returns the encoded size: per entry, the value payload plus two
+// block-relative coordinates sized to the tile (4+4 bits for tiles up to
+// 16×16), plus a 16-bit entry-count header.
+func (t *TileCOO) SizeBits() int {
+	return 16 + len(t.Entries)*(t.Bits+coordBits(t.Tile.W)+coordBits(t.Tile.H))
+}
+
+// coordBits returns the bits needed to address n positions.
+func coordBits(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// KernelCOOEntry is one non-zero weight with kernel-space coordinates, its
+// input channel, and the output channel (feature map) it contributes to.
+type KernelCOOEntry struct {
+	X, Y uint8  // position within the k×k kernel window
+	C    uint16 // input channel
+	K    uint16 // output channel
+	Val  int32
+}
+
+// KernelCOO encodes the non-zero weights of a set of kernels in COO form.
+// Weight compression happens offline (weights are fixed after training), so
+// the encoder also strips zero atoms later in the pipeline.
+type KernelCOO struct {
+	KH, KW  int
+	Bits    int
+	Entries []KernelCOOEntry
+}
+
+// EncodeKernels extracts all non-zero weights of the given output channels
+// (nil = all), ordered (k, c, y, x) — channel-first within a kernel window,
+// matching Ristretto's weight-buffer layout.
+func EncodeKernels(w *tensor.KernelStack, outChans []int) *KernelCOO {
+	if outChans == nil {
+		outChans = make([]int, w.K)
+		for i := range outChans {
+			outChans[i] = i
+		}
+	}
+	kc := &KernelCOO{KH: w.KH, KW: w.KW, Bits: w.Bits}
+	for _, k := range outChans {
+		for c := 0; c < w.C; c++ {
+			for y := 0; y < w.KH; y++ {
+				for x := 0; x < w.KW; x++ {
+					v := w.At(k, c, y, x)
+					if v != 0 {
+						kc.Entries = append(kc.Entries, KernelCOOEntry{
+							X: uint8(x), Y: uint8(y), C: uint16(c), K: uint16(k), Val: v,
+						})
+					}
+				}
+			}
+		}
+	}
+	return kc
+}
+
+// Decode scatters the weights into dst.
+func (kc *KernelCOO) Decode(dst *tensor.KernelStack) {
+	for _, e := range kc.Entries {
+		dst.Set(int(e.K), int(e.C), int(e.Y), int(e.X), e.Val)
+	}
+}
+
+// NNZ returns the number of encoded non-zero weights.
+func (kc *KernelCOO) NNZ() int { return len(kc.Entries) }
+
+// SizeBits returns the encoded size: value payload, 4+4 bits of kernel-window
+// coordinates (kernels are at most 11×11), and 16+16 bits of channel indices.
+func (kc *KernelCOO) SizeBits() int {
+	return 16 + len(kc.Entries)*(kc.Bits+4+4+16+16)
+}

@@ -1,0 +1,56 @@
+package sparse
+
+// CSRMatrix is a conventional compressed-sparse-row encoding of a dense
+// rows×cols matrix. Section II-B2b discusses applying CSR to Laconic's dense
+// tensors; we implement it both for that modified-Laconic analysis and as a
+// reference format in the compression tests.
+type CSRMatrix struct {
+	Rows, Cols int
+	Bits       int
+	RowPtr     []int32 // len Rows+1
+	ColIdx     []int32 // len NNZ
+	Vals       []int32 // len NNZ
+}
+
+// EncodeCSR compresses a row-major dense matrix.
+func EncodeCSR(dense []int32, rows, cols, bits int) *CSRMatrix {
+	if len(dense) != rows*cols {
+		panic("sparse: dense length does not match shape")
+	}
+	m := &CSRMatrix{Rows: rows, Cols: cols, Bits: bits, RowPtr: make([]int32, rows+1)}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if v := dense[r*cols+c]; v != 0 {
+				m.ColIdx = append(m.ColIdx, int32(c))
+				m.Vals = append(m.Vals, v)
+			}
+		}
+		m.RowPtr[r+1] = int32(len(m.Vals))
+	}
+	return m
+}
+
+// Decode expands back into a row-major dense matrix.
+func (m *CSRMatrix) Decode() []int32 {
+	out := make([]int32, m.Rows*m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			out[r*m.Cols+int(m.ColIdx[i])] = m.Vals[i]
+		}
+	}
+	return out
+}
+
+// NNZ returns the number of stored non-zeros.
+func (m *CSRMatrix) NNZ() int { return len(m.Vals) }
+
+// Row returns the column indices and values of row r (shared storage).
+func (m *CSRMatrix) Row(r int) ([]int32, []int32) {
+	return m.ColIdx[m.RowPtr[r]:m.RowPtr[r+1]], m.Vals[m.RowPtr[r]:m.RowPtr[r+1]]
+}
+
+// SizeBits returns the encoded size assuming 16-bit column indices and 32-bit
+// row pointers.
+func (m *CSRMatrix) SizeBits() int {
+	return len(m.RowPtr)*32 + len(m.Vals)*(m.Bits+16)
+}

@@ -1,0 +1,52 @@
+package tensor
+
+import "fmt"
+
+// Tile identifies a spatial rectangle of a feature map: origin (X0,Y0) and
+// extent W×H. Ristretto partitions input feature maps into tiles; each tile is
+// compressed and streamed independently (block COO-2D, Figure 8).
+type Tile struct {
+	X0, Y0 int
+	W, H   int
+}
+
+func (t Tile) String() string {
+	return fmt.Sprintf("Tile(%d,%d %dx%d)", t.X0, t.Y0, t.W, t.H)
+}
+
+// TileGrid partitions an h×w plane into tiles of at most tw×th, last tiles
+// clipped to the plane boundary. Tiles are emitted row-major.
+func TileGrid(w, h, tw, th int) []Tile {
+	if tw <= 0 || th <= 0 {
+		panic("tensor: non-positive tile size")
+	}
+	var tiles []Tile
+	for y := 0; y < h; y += th {
+		hh := th
+		if y+hh > h {
+			hh = h - y
+		}
+		for x := 0; x < w; x += tw {
+			ww := tw
+			if x+ww > w {
+				ww = w - x
+			}
+			tiles = append(tiles, Tile{X0: x, Y0: y, W: ww, H: hh})
+		}
+	}
+	return tiles
+}
+
+// ConvOutSize returns the output spatial size of a convolution over an in-size
+// input with the given kernel size, stride and padding.
+func ConvOutSize(in, k, stride, pad int) int {
+	o := (in+2*pad-k)/stride + 1
+	if o < 0 {
+		return 0
+	}
+	return o
+}
+
+// FullConvSize returns the size of the "full" convolution buffer used by the
+// Atomulator address algebra (Eq. 2): input size + kernel size - 1.
+func FullConvSize(in, k int) int { return in + k - 1 }

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"ristretto/internal/atom"
+	"ristretto/internal/model"
+	"ristretto/internal/quant"
+	"ristretto/internal/tensor"
+)
+
+// LayerStats carries everything the analytic performance models need about
+// one layer's operands: value/atom densities, per-input-channel atom counts
+// (for load balancing and channel-wise tile mapping), and effectual-term
+// histograms (for the bit-serial Laconic model).
+type LayerStats struct {
+	Layer        model.Layer
+	WBits, ABits int
+	Gran         atom.Granularity
+
+	W quant.Stats // weights
+	A quant.Stats // input activations
+
+	// Per input channel c: non-zero atoms of the activation plane (T_c) and
+	// of the kernel slice across all K output channels (S_c). These feed
+	// Eq. 3/5 and the Figure 18 balancing study.
+	ActAtomsPerChan []int
+	WAtomsPerChan   []int
+	ActNZPerChan    []int
+	WNZPerChan      []int
+
+	// Per output channel (filter) k: non-zero weights and atoms. SparTen
+	// assigns filters to compute units greedily by these statistics.
+	WNZPerFilter    []int
+	WAtomsPerFilter []int
+
+	// Effectual-term histograms (index = #terms, value = element count,
+	// including zero values at index 0) for Laconic's ta×tw workloads.
+	ATermHist []int
+	WTermHist []int
+}
+
+// StatsFromTensors measures LayerStats from materialized operands.
+func StatsFromTensors(l model.Layer, f *tensor.FeatureMap, k *tensor.KernelStack, gran atom.Granularity, booth bool) LayerStats {
+	s := LayerStats{
+		Layer: l, WBits: f.Bits, ABits: f.Bits, Gran: gran,
+		ActAtomsPerChan: make([]int, l.C),
+		WAtomsPerChan:   make([]int, l.C),
+		ActNZPerChan:    make([]int, l.C),
+		WNZPerChan:      make([]int, l.C),
+		WNZPerFilter:    make([]int, l.K),
+		WAtomsPerFilter: make([]int, l.K),
+	}
+	s.WBits = k.Bits
+	s.ABits = f.Bits
+	s.A = quant.Measure(f.Data, f.Bits, gran)
+	s.W = quant.Measure(k.Data, k.Bits, gran)
+	for c := 0; c < l.C; c++ {
+		plane := f.Channel(c)
+		for _, v := range plane {
+			if v != 0 {
+				s.ActNZPerChan[c]++
+				s.ActAtomsPerChan[c] += atom.CountNonZero(v, f.Bits, gran)
+			}
+		}
+	}
+	for kk := 0; kk < k.K; kk++ {
+		for c := 0; c < k.C; c++ {
+			for y := 0; y < k.KH; y++ {
+				for x := 0; x < k.KW; x++ {
+					v := k.At(kk, c, y, x)
+					if v != 0 {
+						s.WNZPerChan[c]++
+						na := atom.CountNonZero(v, k.Bits, gran)
+						s.WAtomsPerChan[c] += na
+						s.WNZPerFilter[kk]++
+						s.WAtomsPerFilter[kk] += na
+					}
+				}
+			}
+		}
+	}
+	s.ATermHist = atom.TermHistogram(f.Data, booth)
+	s.WTermHist = atom.TermHistogram(k.Data, booth)
+	return s
+}
+
+// LayerStats generates a layer's operands and measures their statistics in
+// one step. The booth flag selects NAF (true) or popcount term counting for
+// the bit-serial histograms.
+func (g *Gen) LayerStats(l model.Layer, wbits, abits int, gran atom.Granularity, t Targets, booth bool) LayerStats {
+	f, k := g.LayerOperands(l, wbits, abits, t)
+	return StatsFromTensors(l, f, k, gran, booth)
+}
+
+// NetworkStats generates statistics for every layer of a network under a
+// precision assignment.
+func (g *Gen) NetworkStats(n *model.Network, p model.Precision, gran atom.Granularity, booth bool) []LayerStats {
+	out := make([]LayerStats, len(n.Layers))
+	for i, l := range n.Layers {
+		t := EvalTargets(n.Name, p.WBits[i], p.ABits[i])
+		out[i] = g.LayerStats(l, p.WBits[i], p.ABits[i], gran, t, booth)
+	}
+	return out
+}
+
+// TotalActAtoms returns the total non-zero activation atoms (T in Eq. 5).
+func (s *LayerStats) TotalActAtoms() int { return s.A.NonZeroAtoms }
+
+// TotalWAtoms returns the total non-zero weight atoms (S summed over chans).
+func (s *LayerStats) TotalWAtoms() int { return s.W.NonZeroAtoms }
