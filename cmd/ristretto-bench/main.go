@@ -4,9 +4,11 @@
 //
 // Usage:
 //
-//	ristretto-bench [-seed N] [-scale N] [-only "Figure 12"] [-csv dir]
+//	ristretto-bench [-seed N] [-scale N] [-parallel N] [-only "Figure 12"] [-csv dir]
 //
 // -scale divides layer spatial dimensions (4 ≈ 16× faster, same ratios).
+// -parallel bounds the experiment worker pool (0 = all CPUs); the output is
+// bit-identical for every value — only the wall-clock changes.
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"ristretto/internal/experiments"
@@ -22,22 +25,46 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "workload generation seed")
 	scale := flag.Int("scale", 1, "spatial scale-down factor (1 = paper scale)")
+	parallel := flag.Int("parallel", 0, "max concurrent experiments (0 = all CPUs, 1 = serial)")
 	only := flag.String("only", "", "run only the experiment whose ID contains this substring")
 	csvDir := flag.String("csv", "", "also write one CSV per experiment into this directory")
+	quiet := flag.Bool("q", false, "suppress the run-stats footer")
 	flag.Parse()
 
+	if *scale < 1 {
+		fatal(fmt.Errorf("invalid -scale %d: must be >= 1", *scale))
+	}
+	if *parallel < 0 {
+		fatal(fmt.Errorf("invalid -parallel %d: must be >= 0 (0 = all CPUs)", *parallel))
+	}
+
 	b := experiments.NewQuickBench(*seed, *scale)
-	for _, r := range b.All() {
+	b.Workers = *parallel
+	results, stats := b.AllStats()
+	failed := false
+	for _, r := range results {
 		if *only != "" && !strings.Contains(strings.ToLower(r.ID), strings.ToLower(*only)) {
 			continue
 		}
 		fmt.Println(r.String())
+		if r.Err != nil {
+			failed = true
+			continue
+		}
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, r); err != nil {
-				fmt.Fprintln(os.Stderr, "ristretto-bench:", err)
-				os.Exit(1)
+				fatal(err)
 			}
 		}
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr,
+			"ristretto-bench: %d experiments in %s wall-clock (%s of work, %d workers on %d CPUs, %.2fx speedup)\n",
+			stats.Experiments, stats.Elapsed.Round(1e6), stats.Work.Round(1e6),
+			stats.Workers, runtime.NumCPU(), stats.Speedup())
+	}
+	if failed {
+		fatal(fmt.Errorf("one or more experiments failed"))
 	}
 }
 
@@ -52,4 +79,9 @@ func writeCSV(dir string, r *experiments.Result) error {
 	}
 	defer f.Close()
 	return r.WriteCSV(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ristretto-bench:", err)
+	os.Exit(1)
 }

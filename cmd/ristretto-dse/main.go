@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ristretto-dse -net ResNet-18 -precision 4b [-scale 4] [-seed 1]
+//	ristretto-dse -net ResNet-18 -precision 4b [-scale 4] [-seed 1] [-parallel N]
 //	              [-tiles 8,16,32,64] [-mults 8,16,32] [-grans 1,2,3]
 package main
 
@@ -20,23 +20,43 @@ import (
 
 func main() {
 	net := flag.String("net", "ResNet-18", "network name")
-	precision := flag.String("precision", "4b", "8b, 4b, 2b or mix2/4")
+	precision := flag.String("precision", "4b", strings.Join(experiments.PrecisionNames, ", "))
 	seed := flag.Int64("seed", 1, "workload seed")
 	scale := flag.Int("scale", 1, "spatial scale-down factor")
+	parallel := flag.Int("parallel", 0, "max concurrent sweep points (0 = all CPUs, 1 = serial)")
 	tiles := flag.String("tiles", "8,16,32,64", "comma-separated tile counts")
 	mults := flag.String("mults", "8,16,32", "comma-separated multipliers per tile")
 	grans := flag.String("grans", "1,2,3", "comma-separated atom granularities")
 	flag.Parse()
 
+	if !validPrecision(*precision) {
+		fatal(fmt.Errorf("invalid -precision %q (allowed: %s)", *precision, strings.Join(experiments.PrecisionNames, ", ")))
+	}
+	if *scale < 1 {
+		fatal(fmt.Errorf("invalid -scale %d: must be >= 1", *scale))
+	}
+	if *parallel < 0 {
+		fatal(fmt.Errorf("invalid -parallel %d: must be >= 0 (0 = all CPUs)", *parallel))
+	}
+
 	b := experiments.NewQuickBench(*seed, *scale)
 	b.Nets = []string{*net}
+	b.Workers = *parallel
 	r, err := b.DSETable(*net, *precision, ints(*tiles), ints(*mults), ints(*grans))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ristretto-dse:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Println(r.String())
 	fmt.Println("* = Pareto-optimal on (cycles, area, energy)")
+}
+
+func validPrecision(p string) bool {
+	for _, name := range experiments.PrecisionNames {
+		if p == name {
+			return true
+		}
+	}
+	return false
 }
 
 func ints(csv string) []int {
@@ -44,10 +64,14 @@ func ints(csv string) []int {
 	for _, s := range strings.Split(csv, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ristretto-dse: bad integer %q\n", s)
-			os.Exit(1)
+			fatal(fmt.Errorf("bad integer %q", s))
 		}
 		out = append(out, v)
 	}
 	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ristretto-dse:", err)
+	os.Exit(1)
 }

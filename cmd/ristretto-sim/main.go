@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ristretto/internal/atom"
 	"ristretto/internal/balance"
@@ -39,6 +40,25 @@ func main() {
 	perLayer := flag.Bool("layers", false, "print per-layer detail (ristretto only)")
 	flag.Parse()
 
+	// Validate every enum flag up front: an unknown value must name the
+	// allowed set and exit non-zero instead of silently falling through (or
+	// panicking deep inside a sweep).
+	accels := []string{"ristretto", "ristretto-ns", "bitfusion", "laconic", "laconic-mod", "sparten", "sparten-mp", "scnn", "snap"}
+	checkEnum("accel", *accel, accels)
+	checkEnum("precision", *precision, experiments.PrecisionNames)
+	checkEnum("balance", *bal, []string{"wa", "w", "none"})
+	if *gran < 1 || *gran > 3 {
+		fatal(fmt.Errorf("invalid -gran %d (allowed: 1, 2, 3)", *gran))
+	}
+	if *tiles < 1 {
+		fatal(fmt.Errorf("invalid -tiles %d: must be >= 1", *tiles))
+	}
+	if *mults < 1 {
+		fatal(fmt.Errorf("invalid -mults %d: must be >= 1", *mults))
+	}
+	if *scale < 1 {
+		fatal(fmt.Errorf("invalid -scale %d: must be >= 1", *scale))
+	}
 	if _, err := model.ByName(*net); err != nil {
 		fatal(err)
 	}
@@ -55,8 +75,6 @@ func main() {
 		policy = balance.WeightOnly
 	case "none":
 		policy = balance.None
-	default:
-		fatal(fmt.Errorf("unknown balance policy %q", *bal))
 	}
 
 	m := energy.Default()
@@ -93,8 +111,6 @@ func main() {
 		cycles, cnt = scnn.EstimateNetwork(stats, scnn.DefaultConfig())
 	case "snap":
 		cycles, cnt = snap.EstimateNetwork(stats, snap.DefaultConfig())
-	default:
-		fatal(fmt.Errorf("unknown accelerator %q", *accel))
 	}
 
 	split := m.Split(cnt)
@@ -104,6 +120,15 @@ func main() {
 	fmt.Printf("energy       : %.3f mJ (compute %.3f, on-chip %.3f, DRAM %.3f)\n",
 		split.Total()/1e9, split.ComputePJ/1e9, split.OnChipPJ/1e9, split.OffChipPJ/1e9)
 	fmt.Printf("DRAM traffic : %.2f MB\n", float64(cnt.DRAMBytes)/(1<<20))
+}
+
+func checkEnum(name, val string, allowed []string) {
+	for _, a := range allowed {
+		if val == a {
+			return
+		}
+	}
+	fatal(fmt.Errorf("invalid -%s %q (allowed: %s)", name, val, strings.Join(allowed, ", ")))
 }
 
 func fatal(err error) {

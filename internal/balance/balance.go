@@ -43,7 +43,7 @@ func (p Policy) String() string {
 // Cost returns C_T for one channel: T·⌈S/N⌉ (Eq. 5, ε omitted as in the
 // paper).
 func Cost(actAtoms, weightAtoms, mults int) int64 {
-	if weightAtoms == 0 || actAtoms == 0 {
+	if weightAtoms <= 0 || actAtoms <= 0 || mults <= 0 {
 		return 0
 	}
 	rounds := (weightAtoms + mults - 1) / mults

@@ -144,3 +144,14 @@ func TestPolicyString(t *testing.T) {
 		t.Fatal("policy names changed")
 	}
 }
+
+func TestCostDegenerateMultipliers(t *testing.T) {
+	// Regression: zero or negative multiplier counts must cost nothing, not
+	// divide by zero (reachable from DSE grids and CLI flags).
+	if got := Cost(10, 20, 0); got != 0 {
+		t.Fatalf("Cost(10,20,0) = %d, want 0", got)
+	}
+	if got := Cost(10, 20, -4); got != 0 {
+		t.Fatalf("Cost(10,20,-4) = %d, want 0", got)
+	}
+}

@@ -33,6 +33,16 @@ func TestFigure5Multiplication(t *testing.T) {
 	}
 }
 
+func TestMulStepsDegenerateInputs(t *testing.T) {
+	// Regression: a non-positive granularity or bit-width must yield zero
+	// steps instead of dividing by zero.
+	for _, c := range [][3]int{{4, 8, 0}, {4, 8, -1}, {0, 8, 2}, {4, 1, 2}, {4, 0, 2}} {
+		if got := MulSteps(c[0], c[1], c[2]); got != 0 {
+			t.Errorf("MulSteps(%d,%d,%d) = %d, want 0", c[0], c[1], c[2], got)
+		}
+	}
+}
+
 func TestMultiplyStreamingExhaustive(t *testing.T) {
 	for _, gran := range []atom.Granularity{1, 2, 3} {
 		for a := int32(0); a < 16; a++ {
@@ -55,6 +65,11 @@ func TestStepsFormula(t *testing.T) {
 		{5, 16, 32, 5 + 15},   // S < N: one round of 16, ε = 15
 		{0, 40, 32, 0},
 		{10, 0, 32, 0},
+		// Regression: N <= 0 (zero-multiplier CLI flag or DSE point) must
+		// report zero steps, not panic with an integer divide by zero.
+		{10, 40, 0, 0},
+		{10, 40, -3, 0},
+		{-1, 40, 32, 0},
 	}
 	for _, c := range cases {
 		if got := Steps(c.t, c.S, c.N); got != c.want {

@@ -115,6 +115,9 @@ func Intersect(acts []ActAtom, weights []WeightAtom, n int, kh, kw, tileW, tileH
 // steps for 4b×8b at 2-bit atoms. The weight stream covers the wBits-1
 // magnitude bits (sign-magnitude).
 func MulSteps(aBits, wBits int, n int) int {
+	if n <= 0 || aBits <= 0 || wBits <= 1 {
+		return 0 // no granularity / no magnitude bits: no convolution steps
+	}
 	la := (aBits + n - 1) / n
 	lw := (wBits - 1 + n - 1) / n
 	return la + lw - 1

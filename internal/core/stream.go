@@ -204,7 +204,10 @@ type StreamLengths struct {
 // rounds, the activation stream replays once per round, and the ping-pong
 // weight registers overlap all round transitions except the final drain.
 func Steps(t, S, N int) int {
-	if t == 0 || S == 0 {
+	if t <= 0 || S <= 0 || N <= 0 {
+		// N <= 0 means no multipliers: no steps can execute. Guarded rather
+		// than assumed away so a zero-multiplier DSE point or CLI flag reports
+		// zero work instead of panicking with a divide by zero.
 		return 0
 	}
 	rounds := (S + N - 1) / N

@@ -1,16 +1,96 @@
 package experiments
 
-// All runs every regenerated table and figure in paper order.
+import (
+	"sync/atomic"
+	"time"
+
+	"ristretto/internal/runner"
+)
+
+// RunStats describes how a full sweep executed: the worker bound, the
+// wall-clock time of the whole run, and the summed per-experiment durations
+// (what a serial run would roughly have cost). Speedup is their ratio — the
+// effective parallelism achieved.
+type RunStats struct {
+	Experiments int
+	Workers     int
+	Elapsed     time.Duration
+	Work        time.Duration
+}
+
+// Speedup returns the effective wall-clock speedup over running the same
+// experiments back to back.
+func (s RunStats) Speedup() float64 {
+	if s.Elapsed <= 0 {
+		return 1
+	}
+	return float64(s.Work) / float64(s.Elapsed)
+}
+
+// All runs every regenerated table and figure in paper order, fanning the
+// independent experiments out over the bench worker pool. Results — content
+// and order — are bit-identical for every Workers setting: each experiment
+// derives its own random streams (workload.DeriveSeed) and shares workload
+// synthesis through the single-flight stats cache.
 func (b *Bench) All() []*Result {
+	rs, _ := b.AllStats()
+	return rs
+}
+
+// AllStats is All plus execution metadata for reporting wall-clock speedup.
+func (b *Bench) AllStats() ([]*Result, RunStats) {
+	one := func(f func() *Result) func() []*Result {
+		return func() []*Result { return []*Result{f()} }
+	}
+	jobs := []func() []*Result{
+		one(b.Figure1),
+		Taxonomy,
+		one(b.Figure4),
+		one(TableIV),
+		one(TableVI),
+		one(b.Figure12),
+		one(b.Figure13),
+		one(b.Figure14),
+		one(b.Figure15),
+		one(b.Figure16),
+		one(b.Figure17),
+		one(b.Figure18),
+		one(b.Figure19a),
+		one(b.Figure19b),
+		one(b.ExtTableI),
+		one(b.ExtFigure3),
+		one(b.ExtStride),
+		one(b.ExtFIFO),
+		one(b.ExtFormats),
+		one(b.ExtHighPrecision),
+		one(b.ExtBalancingNetworks),
+		one(b.ExtMultiCore),
+	}
+	var workNS atomic.Int64
+	start := time.Now()
+	groups, _ := runner.Map(b.pool(), len(jobs), func(i int) ([]*Result, error) {
+		t0 := time.Now()
+		rs := jobs[i]()
+		workNS.Add(int64(time.Since(t0)))
+		return rs, nil
+	})
 	var out []*Result
-	out = append(out, b.Figure1())
-	out = append(out, Taxonomy()...)
-	out = append(out, b.Figure4())
-	out = append(out, TableIV(), TableVI())
-	out = append(out,
-		b.Figure12(), b.Figure13(), b.Figure14(), b.Figure15(),
-		b.Figure16(), b.Figure17(), b.Figure18(), b.Figure19a(), b.Figure19b(),
-	)
-	out = append(out, b.Extensions()...)
-	return out
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out, RunStats{
+		Experiments: len(out),
+		Workers:     b.pool().Workers(),
+		Elapsed:     time.Since(start),
+		Work:        time.Duration(workNS.Load()),
+	}
+}
+
+// Extensions runs every extension study (serially; All fans them out
+// individually).
+func (b *Bench) Extensions() []*Result {
+	return []*Result{
+		b.ExtTableI(), b.ExtFigure3(), b.ExtStride(), b.ExtFIFO(),
+		b.ExtFormats(), b.ExtHighPrecision(), b.ExtBalancingNetworks(), b.ExtMultiCore(),
+	}
 }

@@ -3,27 +3,45 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"ristretto/internal/atom"
 	"ristretto/internal/model"
+	"ristretto/internal/runner"
 	"ristretto/internal/workload"
 )
 
 // Bench owns the shared state of an experiment run: the benchmark networks,
 // a deterministic seed, an optional spatial scale-down for quick runs, and a
-// cache of generated layer statistics so each (network, precision,
-// granularity) workload is synthesized once.
+// concurrency-safe cache of generated layer statistics so each (network,
+// precision, granularity) workload is synthesized exactly once even when
+// experiments run in parallel.
 type Bench struct {
 	Seed  int64
 	Scale int      // divide layer H/W by this (1 = paper scale); densities are unaffected
 	Nets  []string // restrict to these networks (nil = full benchmark)
 
-	cache map[string][]workload.LayerStats
+	// Workers bounds the experiment worker pool (0 = runtime.NumCPU(),
+	// 1 = serial). Every experiment derives per-cell seeds with
+	// workload.DeriveSeed and collects results in index order, so output is
+	// bit-identical for every value — the determinism test enforces it.
+	Workers int
+
+	mu    sync.Mutex
+	cache map[string]*statsEntry
+}
+
+// statsEntry is a single-flight cache slot: the first caller synthesizes the
+// workload under the entry's once while concurrent callers for the same key
+// wait, instead of duplicating the (expensive) generation or racing the map.
+type statsEntry struct {
+	once  sync.Once
+	stats []workload.LayerStats
 }
 
 // NewBench returns a Bench at full scale.
 func NewBench(seed int64) *Bench {
-	return &Bench{Seed: seed, Scale: 1, cache: map[string][]workload.LayerStats{}}
+	return &Bench{Seed: seed, Scale: 1, cache: map[string]*statsEntry{}}
 }
 
 // NewQuickBench returns a Bench with spatial dimensions divided by scale —
@@ -34,6 +52,9 @@ func NewQuickBench(seed int64, scale int) *Bench {
 	b.Scale = scale
 	return b
 }
+
+// pool returns the worker pool experiments fan out on.
+func (b *Bench) pool() *runner.Pool { return runner.New(b.Workers) }
 
 // PrecisionNames are the four quantization settings of the evaluation.
 var PrecisionNames = []string{"8b", "4b", "2b", "mix2/4"}
@@ -77,21 +98,31 @@ func clampDim(d, k, stride, pad int) int {
 }
 
 // Stats returns (cached) layer statistics for a network under a precision
-// name at the given atom granularity.
+// name at the given atom granularity. It is safe for concurrent use: the
+// first caller for a key synthesizes the workload, concurrent callers block
+// on that synthesis and share its result (single-flight).
 func (b *Bench) Stats(n *model.Network, precision string, gran atom.Granularity) []workload.LayerStats {
 	key := fmt.Sprintf("%s|%s|%d|%d|%d", n.Name, precision, gran, b.Seed, b.Scale)
-	if s, ok := b.cache[key]; ok {
-		return s
+	b.mu.Lock()
+	if b.cache == nil {
+		b.cache = map[string]*statsEntry{}
 	}
-	sn := b.scaled(n)
-	p, err := precisionOf(sn, precision, b.Seed)
-	if err != nil {
-		panic(err)
+	e, ok := b.cache[key]
+	if !ok {
+		e = &statsEntry{}
+		b.cache[key] = e
 	}
-	g := workload.NewGen(b.Seed ^ int64(hash(key)))
-	s := g.NetworkStats(sn, p, gran, true)
-	b.cache[key] = s
-	return s
+	b.mu.Unlock()
+	e.once.Do(func() {
+		sn := b.scaled(n)
+		p, err := precisionOf(sn, precision, b.Seed)
+		if err != nil {
+			panic(err) // precision names are validated at the CLI boundary
+		}
+		g := workload.NewGen(workload.DeriveSeed(b.Seed, "stats", n.Name, precision, fmt.Sprint(int(gran)), fmt.Sprint(b.Scale)))
+		e.stats = g.NetworkStats(sn, p, gran, true)
+	})
+	return e.stats
 }
 
 // Networks returns the benchmark networks of the paper (or the configured
@@ -110,15 +141,6 @@ func (b *Bench) Networks() []*model.Network {
 		}
 	}
 	return out
-}
-
-func hash(s string) uint64 {
-	var h uint64 = 1469598103934665603
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
-	}
-	return h
 }
 
 // geomean returns the geometric mean of positive values.

@@ -11,8 +11,21 @@ import (
 	"ristretto/internal/energy"
 	"ristretto/internal/model"
 	"ristretto/internal/ristretto"
+	"ristretto/internal/runner"
 	"ristretto/internal/workload"
 )
+
+// precNetCells evaluates fn over the precision × network cross product on
+// the bench worker pool, returning cells in precision-major order — the
+// iteration order of the serial loops it replaces, so assembling rows from
+// the returned slice reproduces the serial output bit for bit.
+func precNetCells[T any](b *Bench, precs []string, fn func(prec string, n *model.Network) T) []T {
+	nets := b.Networks()
+	cells, _ := runner.Map(b.pool(), len(precs)*len(nets), func(i int) (T, error) {
+		return fn(precs[i/len(nets)], nets[i%len(nets)]), nil
+	})
+	return cells
+}
 
 // Matched configurations of Section V:
 //   - vs Bit Fusion: equal 2-bit multiplier counts — Ristretto 32 tiles × 32
@@ -42,21 +55,26 @@ func (b *Bench) Figure12() *Result {
 	nscfg.Dense = true
 	bfcfg := bitfusion.DefaultConfig()
 	areaR := energy.RistrettoArea(rcfg.Tiles, rcfg.Tile.Mults, int(rcfg.Tile.Gran)).Total()
-	areaBF := bitfusion.DefaultConfig().Units()
-	_ = areaBF
 	areaB := energy.BitFusionArea(bfcfg.Units())
-	for _, prec := range PrecisionNames {
+	type cell struct{ s, sns float64 }
+	cells := precNetCells(b, PrecisionNames, func(prec string, n *model.Network) cell {
+		stats := b.Stats(n, prec, rcfg.Tile.Gran)
+		cr := ristretto.EstimateNetwork(stats, rcfg).Cycles
+		cns := ristretto.EstimateNetwork(stats, nscfg).Cycles
+		cbf, _ := bitfusion.EstimateNetwork(stats, bfcfg)
+		return cell{
+			s:   areaNormSpeedup(cbf, areaB, cr, areaR),
+			sns: areaNormSpeedup(cbf, areaB, cns, areaR),
+		}
+	})
+	nets := b.Networks()
+	for pi, prec := range PrecisionNames {
 		var sp, spNS []float64
-		for _, n := range b.Networks() {
-			stats := b.Stats(n, prec, rcfg.Tile.Gran)
-			cr := ristretto.EstimateNetwork(stats, rcfg).Cycles
-			cns := ristretto.EstimateNetwork(stats, nscfg).Cycles
-			cbf, _ := bitfusion.EstimateNetwork(stats, bfcfg)
-			s := areaNormSpeedup(cbf, areaB, cr, areaR)
-			sns := areaNormSpeedup(cbf, areaB, cns, areaR)
-			sp = append(sp, s)
-			spNS = append(spNS, sns)
-			r.AddRow(n.Name, prec, f2(s), f2(sns), "1.00")
+		for ni, n := range nets {
+			c := cells[pi*len(nets)+ni]
+			sp = append(sp, c.s)
+			spNS = append(spNS, c.sns)
+			r.AddRow(n.Name, prec, f2(c.s), f2(c.sns), "1.00")
 		}
 		r.AddRow("geomean", prec, f2(geomean(sp)), f2(geomean(spNS)), "1.00")
 	}
@@ -81,16 +99,22 @@ func (b *Bench) Figure13() *Result {
 	rcfg := ristrettoVsBitFusion()
 	bfcfg := bitfusion.DefaultConfig()
 	m := energy.Default()
-	for _, prec := range PrecisionNames {
+	type cell struct{ ratio, dram float64 }
+	cells := precNetCells(b, PrecisionNames, func(prec string, n *model.Network) cell {
+		stats := b.Stats(n, prec, rcfg.Tile.Gran)
+		cr := ristretto.EstimateNetwork(stats, rcfg).Counters
+		_, cbf := bitfusion.EstimateNetwork(stats, bfcfg)
+		er := m.Split(cr)
+		eb := m.Split(cbf)
+		return cell{ratio: er.Total() / eb.Total(), dram: er.OffChipPJ / er.Total()}
+	})
+	nNets := len(b.Networks())
+	for pi, prec := range PrecisionNames {
 		var ratios, dramShare []float64
-		for _, n := range b.Networks() {
-			stats := b.Stats(n, prec, rcfg.Tile.Gran)
-			cr := ristretto.EstimateNetwork(stats, rcfg).Counters
-			_, cbf := bitfusion.EstimateNetwork(stats, bfcfg)
-			er := m.Split(cr)
-			eb := m.Split(cbf)
-			ratios = append(ratios, er.Total()/eb.Total())
-			dramShare = append(dramShare, er.OffChipPJ/er.Total())
+		for ni := 0; ni < nNets; ni++ {
+			c := cells[pi*nNets+ni]
+			ratios = append(ratios, c.ratio)
+			dramShare = append(dramShare, c.dram)
 		}
 		r.AddRow(prec, pct(geomean(ratios)), pct(geomean(dramShare)), "100%")
 	}
@@ -107,13 +131,17 @@ func (b *Bench) Figure14() *Result {
 	}
 	rcfg := ristrettoVsLaconic()
 	lcfg := laconic.DefaultConfig()
-	for _, prec := range PrecisionNames {
+	cells := precNetCells(b, PrecisionNames, func(prec string, n *model.Network) float64 {
+		stats := b.Stats(n, prec, rcfg.Tile.Gran)
+		cr := ristretto.EstimateNetwork(stats, rcfg).Cycles
+		cl, _ := laconic.EstimateNetwork(stats, lcfg)
+		return float64(cl) / float64(cr)
+	})
+	nets := b.Networks()
+	for pi, prec := range PrecisionNames {
 		var sp []float64
-		for _, n := range b.Networks() {
-			stats := b.Stats(n, prec, rcfg.Tile.Gran)
-			cr := ristretto.EstimateNetwork(stats, rcfg).Cycles
-			cl, _ := laconic.EstimateNetwork(stats, lcfg)
-			s := float64(cl) / float64(cr)
+		for ni, n := range nets {
+			s := cells[pi*len(nets)+ni]
 			sp = append(sp, s)
 			r.AddRow(n.Name, prec, f2(s))
 		}
@@ -133,20 +161,27 @@ func (b *Bench) Figure15() *Result {
 		Notes:  "unlike Laconic (Figure 4), latency scales directly with stream density",
 	}
 	cfg := ristretto.Config{Tiles: 1, Tile: ristretto.TileConfig{Mults: 16, Gran: 2}}
-	run := func(valD, atomD float64, seed int64) int64 {
-		g := workload.NewGen(seed)
-		f := g.FeatureMapExact(8, 16, 16, 8, 2, valD, atomD)
-		w := g.KernelsExact(16, 8, 3, 3, 8, 2, valD, atomD)
-		return ristretto.SimulateConv(f, w, 1, 1, cfg).Cycles
+	densities := []float64{1.0, 0.8, 0.6, 0.4, 0.2}
+	type sweep struct {
+		label       string
+		valD, atomD func(d float64) float64
 	}
-	dense := run(1.0, 1.0, b.Seed)
-	for _, d := range []float64{1.0, 0.8, 0.6, 0.4, 0.2} {
-		c := run(1.0, d, b.Seed)
-		r.AddRow("atom density (value density 1.0)", f2(d), fmt.Sprint(c), f2(float64(dense)/float64(c)))
+	sweeps := []sweep{
+		{"atom density (value density 1.0)", func(float64) float64 { return 1.0 }, func(d float64) float64 { return d }},
+		{"value density (atom density 1.0)", func(d float64) float64 { return d }, func(float64) float64 { return 1.0 }},
 	}
-	for _, d := range []float64{1.0, 0.8, 0.6, 0.4, 0.2} {
-		c := run(d, 1.0, b.Seed)
-		r.AddRow("value density (atom density 1.0)", f2(d), fmt.Sprint(c), f2(float64(dense)/float64(c)))
+	cycles, _ := runner.Map(b.pool(), len(sweeps)*len(densities), func(i int) (int64, error) {
+		sw := sweeps[i/len(densities)]
+		d := densities[i%len(densities)]
+		g := workload.NewGen(b.Seed)
+		f := g.FeatureMapExact(8, 16, 16, 8, 2, sw.valD(d), sw.atomD(d))
+		w := g.KernelsExact(16, 8, 3, 3, 8, 2, sw.valD(d), sw.atomD(d))
+		return ristretto.SimulateConv(f, w, 1, 1, cfg).Cycles, nil
+	})
+	dense := cycles[0] // both sweeps start at density 1.0 = the dense run
+	for i, c := range cycles {
+		r.AddRow(sweeps[i/len(densities)].label, f2(densities[i%len(densities)]),
+			fmt.Sprint(c), f2(float64(dense)/float64(c)))
 	}
 	return r
 }
@@ -162,15 +197,15 @@ func (b *Bench) Figure16() *Result {
 	rcfg := ristrettoVsLaconic()
 	lcfg := laconic.DefaultConfig()
 	m := energy.Default()
-	for _, prec := range PrecisionNames {
-		var ratios []float64
-		for _, n := range b.Networks() {
-			stats := b.Stats(n, prec, rcfg.Tile.Gran)
-			cr := ristretto.EstimateNetwork(stats, rcfg).Counters
-			_, cl := laconic.EstimateNetwork(stats, lcfg)
-			ratios = append(ratios, m.TotalPJ(cr)/m.TotalPJ(cl))
-		}
-		r.AddRow(prec, pct(geomean(ratios)), "100%")
+	cells := precNetCells(b, PrecisionNames, func(prec string, n *model.Network) float64 {
+		stats := b.Stats(n, prec, rcfg.Tile.Gran)
+		cr := ristretto.EstimateNetwork(stats, rcfg).Counters
+		_, cl := laconic.EstimateNetwork(stats, lcfg)
+		return m.TotalPJ(cr) / m.TotalPJ(cl)
+	})
+	nNets := len(b.Networks())
+	for pi, prec := range PrecisionNames {
+		r.AddRow(prec, pct(geomean(cells[pi*nNets:(pi+1)*nNets])), "100%")
 	}
 	return r
 }
@@ -190,18 +225,25 @@ func (b *Bench) Figure17() *Result {
 	areaR := energy.RistrettoArea(rcfg.Tiles, rcfg.Tile.Mults, int(rcfg.Tile.Gran)).Total()
 	areaST := energy.SparTenArea(32, false)
 	areaMP := energy.SparTenArea(32, true)
-	for _, prec := range PrecisionNames {
+	type cell struct{ sR, sMP float64 }
+	cells := precNetCells(b, PrecisionNames, func(prec string, n *model.Network) cell {
+		stats := b.Stats(n, prec, rcfg.Tile.Gran)
+		cr := ristretto.EstimateNetwork(stats, rcfg).Cycles
+		cst, _ := sparten.EstimateNetwork(stats, stcfg)
+		cmp, _ := sparten.EstimateNetwork(stats, mpcfg)
+		return cell{
+			sR:  areaNormSpeedup(cst, areaST, cr, areaR),
+			sMP: areaNormSpeedup(cst, areaST, cmp, areaMP),
+		}
+	})
+	nets := b.Networks()
+	for pi, prec := range PrecisionNames {
 		var spR, spMP []float64
-		for _, n := range b.Networks() {
-			stats := b.Stats(n, prec, rcfg.Tile.Gran)
-			cr := ristretto.EstimateNetwork(stats, rcfg).Cycles
-			cst, _ := sparten.EstimateNetwork(stats, stcfg)
-			cmp, _ := sparten.EstimateNetwork(stats, mpcfg)
-			sR := areaNormSpeedup(cst, areaST, cr, areaR)
-			sMP := areaNormSpeedup(cst, areaST, cmp, areaMP)
-			spR = append(spR, sR)
-			spMP = append(spMP, sMP)
-			r.AddRow(n.Name, prec, f2(sR), f2(sMP), "1.00")
+		for ni, n := range nets {
+			c := cells[pi*len(nets)+ni]
+			spR = append(spR, c.sR)
+			spMP = append(spMP, c.sMP)
+			r.AddRow(n.Name, prec, f2(c.sR), f2(c.sMP), "1.00")
 		}
 		r.AddRow("geomean", prec, f2(geomean(spR)), f2(geomean(spMP)), "1.00")
 	}
@@ -220,7 +262,7 @@ func (b *Bench) Figure18() *Result {
 	}
 	n, err := model.ByName("ResNet-18")
 	if err != nil {
-		panic(err)
+		return r.fail(err)
 	}
 	stats := b.Stats(n, "4b", 2)
 	var st workload.LayerStats
@@ -232,7 +274,7 @@ func (b *Bench) Figure18() *Result {
 		}
 	}
 	if !found {
-		panic("experiments: conv3_2 not found in ResNet-18")
+		return r.fail(fmt.Errorf("experiments: conv3_2 not found in ResNet-18"))
 	}
 	const mults = 32
 	costs := make([]int64, st.Layer.C)
@@ -275,26 +317,30 @@ func (b *Bench) Figure19b() *Result {
 		Notes:  "paper: 2-bit achieves the best average performance",
 	}
 	mults := map[int]int{1: 64, 2: 16, 3: 7}
+	precs := []string{"8b", "4b", "2b"}
+	grans := []int{1, 2, 3}
+	perfAt, _ := runner.Map(b.pool(), len(precs)*len(grans), func(i int) (float64, error) {
+		prec := precs[i/len(grans)]
+		gran := grans[i%len(grans)]
+		cfg := ristretto.Config{Tiles: 32, Tile: ristretto.TileConfig{Mults: mults[gran], Gran: atom.Granularity(gran)}, Policy: balance.WeightAct}
+		// Normalize by compute-unit area (Figure 19a's subject); the
+		// buffer complement is identical across the three designs.
+		ab := energy.RistrettoArea(32, mults[gran], gran)
+		area := ab.Atomizer + ab.Atomputer + ab.Atomulator + ab.AccBuffer
+		var perfs []float64
+		for _, n := range b.Networks() {
+			stats := b.Stats(n, prec, atom.Granularity(gran))
+			cy := ristretto.EstimateNetwork(stats, cfg).Cycles
+			perfs = append(perfs, 1e12/(float64(cy)*area))
+		}
+		return geomean(perfs), nil
+	})
 	colPerf := map[int][]float64{}
-	for _, prec := range []string{"8b", "4b", "2b"} {
+	for pi, prec := range precs {
 		row := []string{prec}
-		var base float64
-		for _, gran := range []int{1, 2, 3} {
-			cfg := ristretto.Config{Tiles: 32, Tile: ristretto.TileConfig{Mults: mults[gran], Gran: atom.Granularity(gran)}, Policy: balance.WeightAct}
-			// Normalize by compute-unit area (Figure 19a's subject); the
-			// buffer complement is identical across the three designs.
-			ab := energy.RistrettoArea(32, mults[gran], gran)
-			area := ab.Atomizer + ab.Atomputer + ab.Atomulator + ab.AccBuffer
-			var perfs []float64
-			for _, n := range b.Networks() {
-				stats := b.Stats(n, prec, atom.Granularity(gran))
-				cy := ristretto.EstimateNetwork(stats, cfg).Cycles
-				perfs = append(perfs, 1e12/(float64(cy)*area))
-			}
-			p := geomean(perfs)
-			if gran == 1 {
-				base = p
-			}
+		base := perfAt[pi*len(grans)] // gran == 1 column
+		for gi, gran := range grans {
+			p := perfAt[pi*len(grans)+gi]
 			colPerf[gran] = append(colPerf[gran], p/base)
 			row = append(row, f2(p/base))
 		}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"ristretto/internal/atom"
+)
+
+// renderAll runs the full suite at the given worker count and returns the
+// concatenated rendered results. Any experiment error fails the test.
+func renderAll(t *testing.T, workers int) string {
+	t.Helper()
+	b := NewQuickBench(1, 8)
+	b.Nets = []string{"AlexNet", "ResNet-18"}
+	b.Workers = workers
+	var sb strings.Builder
+	for _, r := range b.All() {
+		if r.Err != nil {
+			t.Fatalf("workers=%d: %s failed: %v", workers, r.ID, r.Err)
+		}
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestAllDeterministicAcrossWorkers is the bit-identity guarantee behind the
+// -parallel flag: every experiment derives its own seed per cell and results
+// are collected in index order, so the rendered output must not depend on the
+// worker count.
+func TestAllDeterministicAcrossWorkers(t *testing.T) {
+	serial := renderAll(t, 1)
+	if serial == "" {
+		t.Fatal("serial run produced no output")
+	}
+	for _, workers := range []int{2, 8} {
+		if got := renderAll(t, workers); got != serial {
+			d := diffLine(serial, got)
+			t.Errorf("workers=%d output differs from serial run (first diverging line: %q)", workers, d)
+		}
+	}
+}
+
+// diffLine returns the first line where a and b diverge, for a readable
+// failure message instead of two multi-kilobyte dumps.
+func diffLine(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := range al {
+		if i >= len(bl) {
+			return al[i] + " (missing in parallel run)"
+		}
+		if al[i] != bl[i] {
+			return al[i] + " != " + bl[i]
+		}
+	}
+	if len(bl) > len(al) {
+		return bl[len(al)] + " (extra in parallel run)"
+	}
+	return ""
+}
+
+// TestStatsSingleFlight: concurrent Stats calls for the same key must
+// synthesize the workload exactly once and hand every caller the same backing
+// array — the single-flight behaviour the parallel figures rely on.
+func TestStatsSingleFlight(t *testing.T) {
+	b := NewQuickBench(1, 8)
+	b.Nets = []string{"AlexNet"}
+	n := b.Networks()[0]
+
+	const callers = 8
+	out := make([]*int, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := b.Stats(n, "4b", atom.Granularity(2))
+			if len(s) == 0 {
+				return
+			}
+			out[i] = &s[0].WBits
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if out[i] == nil || out[0] == nil {
+			t.Fatal("Stats returned empty layer stats")
+		}
+		if out[i] != out[0] {
+			t.Fatalf("caller %d got a different backing array: Stats is not single-flight", i)
+		}
+	}
+}

@@ -7,7 +7,9 @@ import (
 	"ristretto/internal/atom"
 	"ristretto/internal/balance"
 	"ristretto/internal/energy"
+	"ristretto/internal/model"
 	"ristretto/internal/ristretto"
+	"ristretto/internal/runner"
 )
 
 // DSEPoint is one configuration of the Ristretto design space and its
@@ -27,46 +29,65 @@ type DSEPoint struct {
 // paper's configuration choices (32 tiles × 32 2-bit multipliers vs Bit
 // Fusion; ×16 for the BitOps-matched comparisons).
 func (b *Bench) DesignSpace(netName, precision string, tiles, mults, grans []int) ([]DSEPoint, error) {
-	var net string
+	var net *model.Network
 	for _, n := range b.Networks() {
 		if n.Name == netName {
-			net = n.Name
+			net = n
 		}
 	}
-	if net == "" {
+	if net == nil {
 		return nil, fmt.Errorf("experiments: network %q not in bench set", netName)
 	}
-	var points []DSEPoint
+	for _, v := range tiles {
+		if v <= 0 {
+			return nil, fmt.Errorf("experiments: tile count %d must be positive", v)
+		}
+	}
+	for _, v := range mults {
+		if v <= 0 {
+			// A zero-multiplier point no longer panics (core.Steps guards
+			// it) but it performs no work, so its figures of merit would be
+			// degenerate — reject it up front.
+			return nil, fmt.Errorf("experiments: multiplier count %d must be positive", v)
+		}
+	}
+	for _, v := range grans {
+		if v < 1 || v > 3 {
+			return nil, fmt.Errorf("experiments: atom granularity %d outside 1-3", v)
+		}
+	}
+	// Grid order gran → tiles → mults, flattened so the sweep fans out over
+	// the worker pool with a deterministic point order.
+	type gridCfg struct{ gran, tl, m int }
+	var grid []gridCfg
 	for _, gran := range grans {
 		for _, tl := range tiles {
 			for _, m := range mults {
-				cfg := ristretto.Config{
-					Tiles:  tl,
-					Tile:   ristretto.TileConfig{Mults: m, Gran: atom.Granularity(gran)},
-					Policy: balance.WeightAct,
-				}
-				var cycles int64
-				var cnt energy.Counters
-				for _, n := range b.Networks() {
-					if n.Name != net {
-						continue
-					}
-					stats := b.Stats(n, precision, atom.Granularity(gran))
-					perf := ristretto.EstimateNetwork(stats, cfg)
-					cycles = perf.Cycles
-					cnt = perf.Counters
-				}
-				area := energy.RistrettoArea(tl, m, gran).Total()
-				pj := energy.ModelForGranularity(gran).TotalPJ(cnt)
-				points = append(points, DSEPoint{
-					Tiles: tl, Mults: m, Gran: gran,
-					Cycles:      cycles,
-					AreaMM2:     area,
-					EnergyMJ:    pj / 1e9,
-					PerfPerArea: 1e9 / (float64(cycles) * area),
-				})
+				grid = append(grid, gridCfg{gran, tl, m})
 			}
 		}
+	}
+	points, err := runner.Map(b.pool(), len(grid), func(i int) (DSEPoint, error) {
+		g := grid[i]
+		cfg := ristretto.Config{
+			Tiles:  g.tl,
+			Tile:   ristretto.TileConfig{Mults: g.m, Gran: atom.Granularity(g.gran)},
+			Policy: balance.WeightAct,
+		}
+		stats := b.Stats(net, precision, atom.Granularity(g.gran))
+		perf := ristretto.EstimateNetwork(stats, cfg)
+		area := energy.RistrettoArea(g.tl, g.m, g.gran).Total()
+		pj := energy.ModelForGranularity(g.gran).TotalPJ(perf.Counters)
+		return DSEPoint{
+			Tiles: g.tl, Mults: g.m, Gran: g.gran,
+			Cycles:      perf.Cycles,
+			AreaMM2:     area,
+			EnergyMJ:    pj / 1e9,
+			PerfPerArea: 1e9 / (float64(perf.Cycles) * area),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	markPareto(points)
 	sort.SliceStable(points, func(i, j int) bool { return points[i].PerfPerArea > points[j].PerfPerArea })

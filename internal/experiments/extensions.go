@@ -10,7 +10,9 @@ import (
 	"ristretto/internal/baselines/sparten"
 	"ristretto/internal/core"
 	"ristretto/internal/energy"
+	"ristretto/internal/model"
 	"ristretto/internal/ristretto"
+	"ristretto/internal/runner"
 	"ristretto/internal/sparse"
 	"ristretto/internal/tensor"
 	"ristretto/internal/workload"
@@ -33,21 +35,29 @@ func (b *Bench) ExtTableI() *Result {
 		Notes:  "value-level sparse designs cannot exploit narrow precision; Ristretto's atom streams can",
 	}
 	rcfg := ristrettoVsLaconic()
-	for _, prec := range []string{"8b", "2b"} {
+	precs := []string{"8b", "2b"}
+	type cell struct{ sR, sSC, sSN float64 }
+	cells := precNetCells(b, precs, func(prec string, n *model.Network) cell {
+		stats := b.Stats(n, prec, rcfg.Tile.Gran)
+		cr := ristretto.EstimateNetwork(stats, rcfg).Cycles
+		cst, _ := sparten.EstimateNetwork(stats, sparten.DefaultConfig())
+		csc, _ := scnn.EstimateNetwork(stats, scnn.DefaultConfig())
+		csn, _ := snap.EstimateNetwork(stats, snap.DefaultConfig())
+		return cell{
+			sR:  float64(cst) / float64(cr),
+			sSC: float64(cst) / float64(csc),
+			sSN: float64(cst) / float64(csn),
+		}
+	})
+	nets := b.Networks()
+	for pi, prec := range precs {
 		var spR, spSC, spSN []float64
-		for _, n := range b.Networks() {
-			stats := b.Stats(n, prec, rcfg.Tile.Gran)
-			cr := ristretto.EstimateNetwork(stats, rcfg).Cycles
-			cst, _ := sparten.EstimateNetwork(stats, sparten.DefaultConfig())
-			csc, _ := scnn.EstimateNetwork(stats, scnn.DefaultConfig())
-			csn, _ := snap.EstimateNetwork(stats, snap.DefaultConfig())
-			sR := float64(cst) / float64(cr)
-			sSC := float64(cst) / float64(csc)
-			sSN := float64(cst) / float64(csn)
-			spR = append(spR, sR)
-			spSC = append(spSC, sSC)
-			spSN = append(spSN, sSN)
-			r.AddRow(n.Name, prec, f2(sR), f2(sSC), f2(sSN), "1.00")
+		for ni, n := range nets {
+			c := cells[pi*len(nets)+ni]
+			spR = append(spR, c.sR)
+			spSC = append(spSC, c.sSC)
+			spSN = append(spSN, c.sSN)
+			r.AddRow(n.Name, prec, f2(c.sR), f2(c.sSC), f2(c.sSN), "1.00")
 		}
 		r.AddRow("geomean", prec, f2(geomean(spR)), f2(geomean(spSC)), f2(geomean(spSN)), "1.00")
 	}
@@ -69,16 +79,23 @@ func (b *Bench) ExtFigure3() *Result {
 	areaR := energy.RistrettoArea(rcfg.Tiles, rcfg.Tile.Mults, int(rcfg.Tile.Gran)).Total()
 	areaL := energy.LaconicArea(lcfg.PEs())
 	areaM := energy.LaconicArea(lcfg.PEs()) * laconic.ModifiedAreaFactor
-	for _, prec := range []string{"8b", "2b"} {
-		for _, n := range b.Networks() {
-			stats := b.Stats(n, prec, rcfg.Tile.Gran)
-			cl, _ := laconic.EstimateNetwork(stats, lcfg)
-			cm, _ := laconic.EstimateNetworkModified(stats, lcfg)
-			cr := ristretto.EstimateNetwork(stats, rcfg).Cycles
-			r.AddRow(n.Name, prec,
-				f2(float64(cl)/float64(cm)),
-				f2(areaNormSpeedup(cl, areaL, cm, areaM)),
-				f2(areaNormSpeedup(cl, areaL, cr, areaR)))
+	precs := []string{"8b", "2b"}
+	cells := precNetCells(b, precs, func(prec string, n *model.Network) [3]float64 {
+		stats := b.Stats(n, prec, rcfg.Tile.Gran)
+		cl, _ := laconic.EstimateNetwork(stats, lcfg)
+		cm, _ := laconic.EstimateNetworkModified(stats, lcfg)
+		cr := ristretto.EstimateNetwork(stats, rcfg).Cycles
+		return [3]float64{
+			float64(cl) / float64(cm),
+			areaNormSpeedup(cl, areaL, cm, areaM),
+			areaNormSpeedup(cl, areaL, cr, areaR),
+		}
+	})
+	nets := b.Networks()
+	for pi, prec := range precs {
+		for ni, n := range nets {
+			c := cells[pi*len(nets)+ni]
+			r.AddRow(n.Name, prec, f2(c[0]), f2(c[1]), f2(c[2]))
 		}
 	}
 	return r
@@ -97,10 +114,16 @@ func (b *Bench) ExtStride() *Result {
 	base := ristrettoVsBitFusion()
 	naive := base
 	naive.NaiveStride = true
-	for _, n := range b.Networks() {
-		stats := b.Stats(n, "8b", base.Tile.Gran)
-		cp := ristretto.EstimateNetwork(stats, base).Cycles
-		cn := ristretto.EstimateNetwork(stats, naive).Cycles
+	nets := b.Networks()
+	cells, _ := runner.Map(b.pool(), len(nets), func(i int) ([2]int64, error) {
+		stats := b.Stats(nets[i], "8b", base.Tile.Gran)
+		return [2]int64{
+			ristretto.EstimateNetwork(stats, naive).Cycles,
+			ristretto.EstimateNetwork(stats, base).Cycles,
+		}, nil
+	})
+	for i, n := range nets {
+		cn, cp := cells[i][0], cells[i][1]
 		r.AddRow(n.Name, fmt.Sprint(cn), fmt.Sprint(cp), f2(float64(cn)/float64(cp)))
 	}
 	return r
@@ -119,10 +142,15 @@ func (b *Bench) ExtFIFO() *Result {
 	g := workload.NewGen(b.Seed)
 	f := g.FeatureMapExact(4, 16, 16, 2, 2, 0.9, 1.0) // 2-bit: every atom delivers
 	w := g.KernelsExact(4, 4, 3, 3, 8, 2, 0.8, 0.8)
-	for _, depth := range []int{1, 2, 4, 8, 16} {
-		cfg := ristretto.Config{Tiles: 1, Tile: ristretto.TileConfig{Mults: 16, Gran: 2, FIFODepth: depth}}
-		sim := ristretto.SimulateConv(f, w, 1, 1, cfg)
-		r.AddRow(fmt.Sprint(depth), fmt.Sprint(sim.Cycles), fmt.Sprint(sim.Stalls),
+	depths := []int{1, 2, 4, 8, 16}
+	// The operands are generated once (sequentially, above) and shared
+	// read-only; only the per-depth simulations fan out.
+	sims, _ := runner.Map(b.pool(), len(depths), func(i int) (ristretto.SimResult, error) {
+		cfg := ristretto.Config{Tiles: 1, Tile: ristretto.TileConfig{Mults: 16, Gran: 2, FIFODepth: depths[i]}}
+		return ristretto.SimulateConv(f, w, 1, 1, cfg), nil
+	})
+	for i, sim := range sims {
+		r.AddRow(fmt.Sprint(depths[i]), fmt.Sprint(sim.Cycles), fmt.Sprint(sim.Stalls),
 			pct(float64(sim.Stalls)/float64(sim.Cycles)))
 	}
 	return r
@@ -197,14 +225,19 @@ func (b *Bench) ExtBalancingNetworks() *Result {
 		Header: []string{"network", "no balancing", "w balancing", "w/a balancing"},
 	}
 	base := ristrettoVsBitFusion()
-	for _, n := range b.Networks() {
-		stats := b.Stats(n, "4b", base.Tile.Gran)
+	nets := b.Networks()
+	cells, _ := runner.Map(b.pool(), len(nets), func(i int) ([3]int64, error) {
+		stats := b.Stats(nets[i], "4b", base.Tile.Gran)
 		var cy [3]int64
-		for i, p := range []balance.Policy{balance.None, balance.WeightOnly, balance.WeightAct} {
+		for j, p := range []balance.Policy{balance.None, balance.WeightOnly, balance.WeightAct} {
 			cfg := base
 			cfg.Policy = p
-			cy[i] = ristretto.EstimateNetwork(stats, cfg).Cycles
+			cy[j] = ristretto.EstimateNetwork(stats, cfg).Cycles
 		}
+		return cy, nil
+	})
+	for i, n := range nets {
+		cy := cells[i]
 		r.AddRow(n.Name, "1.00", f2(float64(cy[1])/float64(cy[0])), f2(float64(cy[2])/float64(cy[0])))
 	}
 	return r
@@ -222,24 +255,17 @@ func (b *Bench) ExtMultiCore() *Result {
 	}
 	n := b.Networks()[len(b.Networks())-1]
 	stats := b.Stats(n, "4b", 2)
-	var base int64
-	for _, tiles := range []int{32, 64, 128, 256} {
+	tileCounts := []int{32, 64, 128, 256}
+	cycles, _ := runner.Map(b.pool(), len(tileCounts), func(i int) (int64, error) {
 		cfg := ristrettoVsBitFusion()
-		cfg.Tiles = tiles
-		cy := ristretto.EstimateNetwork(stats, cfg).Cycles
-		if tiles == 32 {
-			base = cy
-		}
+		cfg.Tiles = tileCounts[i]
+		return ristretto.EstimateNetwork(stats, cfg).Cycles, nil
+	})
+	base := cycles[0] // 32 tiles
+	for i, cy := range cycles {
+		tiles := tileCounts[i]
 		sp := float64(base) / float64(cy)
 		r.AddRow(fmt.Sprint(tiles), fmt.Sprint(cy), f2(sp), pct(sp/(float64(tiles)/32)))
 	}
 	return r
-}
-
-// Extensions runs every extension study.
-func (b *Bench) Extensions() []*Result {
-	return []*Result{
-		b.ExtTableI(), b.ExtFigure3(), b.ExtStride(), b.ExtFIFO(),
-		b.ExtFormats(), b.ExtHighPrecision(), b.ExtBalancingNetworks(), b.ExtMultiCore(),
-	}
 }

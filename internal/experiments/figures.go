@@ -3,14 +3,27 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 
 	"ristretto/internal/atom"
 	"ristretto/internal/baselines/laconic"
 	"ristretto/internal/energy"
 	"ristretto/internal/model"
 	"ristretto/internal/quant"
+	"ristretto/internal/runner"
 	"ristretto/internal/workload"
 )
+
+// hash is FNV-1a, used for seed-independent per-layer jitter. Seeds are never
+// derived from it directly — that is workload.DeriveSeed's job.
+func hash(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
 
 // Figure1 reproduces the sparsity-vs-bit-width study: five networks, each
 // uniformly quantized to 8/6/4/2 bits *without pruning*, reporting average
@@ -27,55 +40,70 @@ func (b *Bench) Figure1() *Result {
 		Notes:  "paper anchors: 2-bit averages 47.43% (weight) and 75.25% (activation)",
 	}
 	nets := []string{"AlexNet", "VGG-16", "GoogLeNet", "ResNet-18", "ResNet-50"}
+	bitsList := []int{8, 6, 4, 2}
 	const maxSamples = 60000
-	for _, name := range nets {
+	type cell struct{ wSpar, aSpar float64 }
+	cells, err := runner.Map(b.pool(), len(nets)*len(bitsList), func(i int) (cell, error) {
+		name := nets[i/len(bitsList)]
+		bits := bitsList[i%len(bitsList)]
 		n, err := model.ByName(name)
 		if err != nil {
-			panic(err)
+			return cell{}, err
 		}
-		for _, bits := range []int{8, 6, 4, 2} {
-			rng := rand.New(rand.NewSource(b.Seed ^ int64(hash(name))*int64(bits)))
-			var wZero, wTot, aZero, aTot int
-			for li, l := range n.Layers {
-				wn := int(l.Weights())
-				if wn > maxSamples {
-					wn = maxSamples
-				}
-				an := int(l.Activations())
-				if an > maxSamples {
-					an = maxSamples
-				}
-				// Per-network/per-layer clip jitter (±10%): quantized
-				// sparsity is scale-invariant for Gaussians, so varying σ
-				// alone would make every network identical; real networks
-				// differ in how tightly their learned clips sit.
-				jitter := 0.9 + 0.2*float64(int(hash(fmt.Sprintf("%s%d", name, li))%100))/100
-				wRaw := make([]float64, wn)
-				for i := range wRaw {
-					wRaw[i] = rng.NormFloat64()
-				}
-				aRaw := make([]float64, an)
-				for i := range aRaw {
-					aRaw[i] = rng.NormFloat64()
-				}
-				wq := quant.QuantizeSigned(wRaw, 1, quant.Config{Bits: bits, ClipSigma: quant.DefaultWeightClip(bits) * jitter})
-				aq := quant.QuantizeUnsigned(aRaw, 1, quant.Config{Bits: bits, ClipSigma: quant.DefaultActClip(bits) * jitter})
-				for _, v := range wq {
-					if v == 0 {
-						wZero++
-					}
-				}
-				for _, v := range aq {
-					if v == 0 {
-						aZero++
-					}
-				}
-				wTot += wn
-				aTot += an
+		// One independent stream per (network, bit-width) cell. The previous
+		// expression, seed ^ hash(name)*bits, parsed as seed ^ (hash*bits):
+		// multiplying by bits ∈ {2,4,8} shifted entropy out of the low bits
+		// and correlated the streams of one network across bit-widths.
+		rng := rand.New(rand.NewSource(workload.DeriveSeed(b.Seed, "figure1", name, strconv.Itoa(bits))))
+		var wZero, wTot, aZero, aTot int
+		for li, l := range n.Layers {
+			wn := int(l.Weights())
+			if wn > maxSamples {
+				wn = maxSamples
 			}
-			r.AddRow(name, fmt.Sprintf("%d", bits),
-				pct(float64(wZero)/float64(wTot)), pct(float64(aZero)/float64(aTot)))
+			an := int(l.Activations())
+			if an > maxSamples {
+				an = maxSamples
+			}
+			// Per-network/per-layer clip jitter (±10%): quantized
+			// sparsity is scale-invariant for Gaussians, so varying σ
+			// alone would make every network identical; real networks
+			// differ in how tightly their learned clips sit.
+			jitter := 0.9 + 0.2*float64(int(hash(fmt.Sprintf("%s%d", name, li))%100))/100
+			wRaw := make([]float64, wn)
+			for i := range wRaw {
+				wRaw[i] = rng.NormFloat64()
+			}
+			aRaw := make([]float64, an)
+			for i := range aRaw {
+				aRaw[i] = rng.NormFloat64()
+			}
+			wq := quant.QuantizeSigned(wRaw, 1, quant.Config{Bits: bits, ClipSigma: quant.DefaultWeightClip(bits) * jitter})
+			aq := quant.QuantizeUnsigned(aRaw, 1, quant.Config{Bits: bits, ClipSigma: quant.DefaultActClip(bits) * jitter})
+			for _, v := range wq {
+				if v == 0 {
+					wZero++
+				}
+			}
+			for _, v := range aq {
+				if v == 0 {
+					aZero++
+				}
+			}
+			wTot += wn
+			aTot += an
 		}
+		return cell{
+			wSpar: float64(wZero) / float64(wTot),
+			aSpar: float64(aZero) / float64(aTot),
+		}, nil
+	})
+	if err != nil {
+		return r.fail(err)
+	}
+	for i, c := range cells {
+		r.AddRow(nets[i/len(bitsList)], fmt.Sprintf("%d", bitsList[i%len(bitsList)]),
+			pct(c.wSpar), pct(c.aSpar))
 	}
 	return r
 }
@@ -93,22 +121,35 @@ func (b *Bench) Figure4() *Result {
 		Notes:  "latencies in cycles per inner-product round; sparsity benefits shrink as the tile grows",
 	}
 	const runs = 1000
-	for _, cfg := range []laconic.Config{
+	cfgs := []laconic.Config{
 		{PERows: 2, PECols: 4, Lanes: 16, Booth: true},
 		{PERows: 6, PECols: 8, Lanes: 16, Booth: true},
-	} {
-		for sp := 0.0; sp <= 0.90001; sp += 0.15 {
-			g := workload.NewGen(b.Seed + int64(sp*1000) + int64(cfg.PEs()))
-			var theo, avg, tile float64
-			for i := 0; i < runs; i++ {
-				run := laconic.SimulateTile(g, cfg, 8, 1-sp)
-				theo += run.TheoreticalCycles
-				avg += run.AvgPECycles
-				tile += float64(run.TileCycles)
-			}
-			r.AddRow(fmt.Sprintf("%dx%d", cfg.PERows, cfg.PECols), pct(sp),
-				f2(theo/runs), f2(avg/runs), f2(tile/runs))
+	}
+	var sps []float64
+	for sp := 0.0; sp <= 0.90001; sp += 0.15 {
+		sps = append(sps, sp)
+	}
+	type cell struct{ theo, avg, tile float64 }
+	cells, _ := runner.Map(b.pool(), len(cfgs)*len(sps), func(i int) (cell, error) {
+		cfg := cfgs[i/len(sps)]
+		sp := sps[i%len(sps)]
+		// Seed derived per (tile, sparsity) cell; the old b.Seed+sp*1000+PEs
+		// mixing made neighbouring sweep points reuse overlapping streams.
+		g := workload.NewGen(workload.DeriveSeed(b.Seed, "figure4",
+			fmt.Sprintf("%dx%d", cfg.PERows, cfg.PECols), pct(sp)))
+		var c cell
+		for i := 0; i < runs; i++ {
+			run := laconic.SimulateTile(g, cfg, 8, 1-sp)
+			c.theo += run.TheoreticalCycles
+			c.avg += run.AvgPECycles
+			c.tile += float64(run.TileCycles)
 		}
+		return c, nil
+	})
+	for i, c := range cells {
+		cfg := cfgs[i/len(sps)]
+		r.AddRow(fmt.Sprintf("%dx%d", cfg.PERows, cfg.PECols), pct(sps[i%len(sps)]),
+			f2(c.theo/runs), f2(c.avg/runs), f2(c.tile/runs))
 	}
 	return r
 }

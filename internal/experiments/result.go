@@ -18,6 +18,17 @@ type Result struct {
 	Header []string
 	Rows   [][]string
 	Notes  string
+
+	// Err is set when the experiment could not run (e.g. an unknown network
+	// name); the rows are then empty or partial. Drivers check it instead of
+	// the experiment panicking mid-sweep.
+	Err error
+}
+
+// fail records err on the result and returns it, for early exits.
+func (r *Result) fail(err error) *Result {
+	r.Err = err
+	return r
 }
 
 // AddRow appends a formatted row.
@@ -60,6 +71,9 @@ func (r *Result) String() string {
 	}
 	if r.Notes != "" {
 		fmt.Fprintf(&b, "note: %s\n", r.Notes)
+	}
+	if r.Err != nil {
+		fmt.Fprintf(&b, "error: %v\n", r.Err)
 	}
 	return b.String()
 }

@@ -1,0 +1,102 @@
+// Package runner provides the bounded, deterministic worker pool behind the
+// experiment harness. Every figure, extension study and design-space sweep
+// fans its independent cells out through Map; because each cell derives its
+// own random stream (workload.DeriveSeed) and results are collected in index
+// order, output is bit-identical regardless of the worker count — the golden
+// determinism tests in internal/experiments enforce this.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a concurrency budget for Map calls. It carries no state between
+// calls — each Map spawns its own bounded worker set — so nested Map calls
+// (a figure fanning out inside a parallel All) cannot deadlock on shared
+// slots; the bound applies per fan-out level.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool running at most workers jobs concurrently per Map call.
+// workers <= 0 selects runtime.NumCPU().
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Pool{workers: workers}
+}
+
+// Serial is a single-worker pool: Map degenerates to an in-order loop.
+func Serial() *Pool { return New(1) }
+
+// Workers reports the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Map runs fn(i) for every i in [0, n) on the pool's workers and returns the
+// results in index order. On error the remaining (not yet started) jobs are
+// cancelled and the error of the lowest failing index is returned — the same
+// error a serial loop stopping at its first failure would report, so error
+// propagation is also independent of the worker count. Results of jobs that
+// completed before cancellation are still filled in.
+func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Serial fast path: no goroutines, stop at the first error.
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return out, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	errs := make([]error, n)
+	var next int64 = -1
+	var failed atomic.Int64
+	failed.Store(int64(n))
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				// Don't start jobs past an already-failed index: a serial
+				// run would never have reached them.
+				if i >= n || int64(i) > failed.Load() {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					// Record the lowest failing index.
+					for {
+						cur := failed.Load()
+						if int64(i) >= cur || failed.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if f := failed.Load(); f < int64(n) {
+		return out, errs[f]
+	}
+	return out, nil
+}

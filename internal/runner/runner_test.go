@@ -1,0 +1,155 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		p := New(workers)
+		got, err := Map(p, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapBoundedConcurrency(t *testing.T) {
+	const limit = 3
+	p := New(limit)
+	var inFlight, peak atomic.Int64
+	_, err := Map(p, 50, func(i int) (struct{}, error) {
+		cur := inFlight.Add(1)
+		for {
+			m := peak.Load()
+			if cur <= m || peak.CompareAndSwap(m, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > limit {
+		t.Fatalf("observed %d concurrent jobs, bound is %d", p, limit)
+	}
+	if p := peak.Load(); p < 2 {
+		t.Fatalf("observed no concurrency (peak %d) with %d workers", p, limit)
+	}
+}
+
+func TestMapFirstErrorWins(t *testing.T) {
+	// Whatever the worker count, the reported error must be the one a serial
+	// loop would hit first (lowest index), not whichever fired first.
+	for _, workers := range []int{1, 4, 16} {
+		p := New(workers)
+		_, err := Map(p, 40, func(i int) (int, error) {
+			if i == 7 || i == 23 {
+				// Make the later failure race ahead of the earlier one.
+				if i == 7 {
+					time.Sleep(5 * time.Millisecond)
+				}
+				return 0, fmt.Errorf("job %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		if err.Error() != "job 7 failed" {
+			t.Fatalf("workers=%d: got %q, want lowest-index error", workers, err)
+		}
+	}
+}
+
+func TestMapErrorCancelsRemaining(t *testing.T) {
+	p := New(2)
+	var started atomic.Int64
+	sentinel := errors.New("boom")
+	_, err := Map(p, 1000, func(i int) (int, error) {
+		started.Add(1)
+		if i == 0 {
+			return 0, sentinel
+		}
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if s := started.Load(); s > 10 {
+		t.Fatalf("%d jobs started after early failure; cancellation not effective", s)
+	}
+}
+
+func TestMapCompletedResultsSurviveError(t *testing.T) {
+	p := New(1)
+	out, err := Map(p, 5, func(i int) (int, error) {
+		if i == 3 {
+			return 0, errors.New("stop")
+		}
+		return i + 1, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	for i := 0; i < 3; i++ {
+		if out[i] != i+1 {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], i+1)
+		}
+	}
+}
+
+func TestMapZeroJobsAndDefaults(t *testing.T) {
+	if got, err := Map(New(4), 0, func(i int) (int, error) { return 0, errors.New("never") }); err != nil || len(got) != 0 {
+		t.Fatalf("zero jobs: %v, %d results", err, len(got))
+	}
+	if New(0).Workers() < 1 {
+		t.Fatal("default pool has no workers")
+	}
+	if Serial().Workers() != 1 {
+		t.Fatal("Serial pool not single-worker")
+	}
+}
+
+func TestMapParallelMatchesSerial(t *testing.T) {
+	// The engine's core promise: identical output for any worker count.
+	job := func(i int) (string, error) { return fmt.Sprintf("r%d", i*7%13), nil }
+	want, err := Map(Serial(), 64, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, workers := range []int{2, 5, 32} {
+		workers := workers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := Map(New(workers), 64, job)
+			if err != nil {
+				t.Errorf("workers=%d: %v", workers, err)
+				return
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("workers=%d: out[%d] = %q, want %q", workers, i, got[i], want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -79,6 +79,23 @@ func hash64(s string) uint64 {
 	return h
 }
 
+// DeriveSeed derives an independent stream seed from a base seed and a list
+// of labels (network name, precision, figure ID, …) by folding each label's
+// FNV-1a digest into a splitmix64 chain. Unlike ad-hoc mixing expressions
+// (e.g. seed ^ hash*bits, which multiplies entropy out of the low bits and
+// correlates streams that share factors), every label permutes the full
+// 64-bit state, so any two distinct label paths yield statistically
+// independent generators. Every experiment derives its generator this way,
+// which is what lets the harness run cells in any order — or in parallel —
+// with bit-identical results.
+func DeriveSeed(base int64, labels ...string) int64 {
+	x := splitmix(uint64(base))
+	for _, l := range labels {
+		x = splitmix(x ^ hash64(l))
+	}
+	return int64(x)
+}
+
 // Gen is a deterministic generator of synthetic operands.
 type Gen struct {
 	rng *rand.Rand
