@@ -1,14 +1,22 @@
 // Command ristretto-bench regenerates every table and figure of the paper's
 // evaluation on the synthetic substrate and prints them as text tables
-// (optionally writing CSVs).
+// (optionally writing CSVs and a structured run manifest).
 //
 // Usage:
 //
-//	ristretto-bench [-seed N] [-scale N] [-parallel N] [-only "Figure 12"] [-csv dir]
+//	ristretto-bench [-seed N] [-scale N] [-parallel N] [-only "Figure 12"]
+//	                [-csv dir] [-telemetry] [-manifest path]
+//	                [-cpuprofile f] [-memprofile f] [-trace f] [-pprof addr]
 //
 // -scale divides layer spatial dimensions (4 ≈ 16× faster, same ratios).
 // -parallel bounds the experiment worker pool (0 = all CPUs); the output is
 // bit-identical for every value — only the wall-clock changes.
+// -telemetry turns the counter registry on, prints the per-stage
+// busy/stall/idle utilization table after the results, and writes a run
+// manifest (JSON: seed, scale, workers, git revision, per-figure timing,
+// per-stage breakdowns — see EXPERIMENTS.md for the schema) next to the
+// CSVs: -manifest overrides the path, which defaults to
+// <csv dir>/run_manifest.json, or results/run_manifest.json without -csv.
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"strings"
 
 	"ristretto/internal/experiments"
+	"ristretto/internal/telemetry"
 )
 
 func main() {
@@ -29,14 +38,36 @@ func main() {
 	only := flag.String("only", "", "run only the experiment whose ID contains this substring")
 	csvDir := flag.String("csv", "", "also write one CSV per experiment into this directory")
 	quiet := flag.Bool("q", false, "suppress the run-stats footer")
+	telem := flag.Bool("telemetry", false, "enable telemetry: print the stage-utilization table and write a run manifest")
+	manifestPath := flag.String("manifest", "", "run-manifest path (default <csv dir or results>/run_manifest.json; implies -telemetry)")
+	version := flag.Bool("version", false, "print version and VCS info, then exit")
+	var prof telemetry.Profiler
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	if *version {
+		fmt.Println(telemetry.VersionString("ristretto-bench"))
+		return
+	}
 	if *scale < 1 {
 		fatal(fmt.Errorf("invalid -scale %d: must be >= 1", *scale))
 	}
 	if *parallel < 0 {
 		fatal(fmt.Errorf("invalid -parallel %d: must be >= 0 (0 = all CPUs)", *parallel))
 	}
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "ristretto-bench:", err)
+		}
+	}()
+
+	if *manifestPath != "" {
+		*telem = true
+	}
+	telemetry.Default.SetEnabled(*telem)
 
 	b := experiments.NewQuickBench(*seed, *scale)
 	b.Workers = *parallel
@@ -56,6 +87,31 @@ func main() {
 				fatal(err)
 			}
 		}
+	}
+	if *telem {
+		snap := telemetry.Default.Snapshot()
+		fmt.Println("== Stage utilization (cycle-simulated experiments) ==")
+		fmt.Print(snap.StageTable())
+		path := *manifestPath
+		if path == "" {
+			dir := *csvDir
+			if dir == "" {
+				dir = "results"
+			}
+			path = filepath.Join(dir, "run_manifest.json")
+		}
+		m := telemetry.NewManifest("ristretto-bench")
+		m.Seed = *seed
+		m.Scale = *scale
+		m.Workers = stats.Workers
+		m.WallMillis = float64(stats.Elapsed.Nanoseconds()) / 1e6
+		m.WorkMillis = float64(stats.Work.Nanoseconds()) / 1e6
+		m.Timings = stats.Timings
+		m.AttachSnapshot(snap)
+		if err := m.Write(path); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ristretto-bench: run manifest written to %s\n", path)
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr,

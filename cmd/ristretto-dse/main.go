@@ -6,16 +6,20 @@
 //
 //	ristretto-dse -net ResNet-18 -precision 4b [-scale 4] [-seed 1] [-parallel N]
 //	              [-tiles 8,16,32,64] [-mults 8,16,32] [-grans 1,2,3]
+//	              [-telemetry] [-manifest path]
+//	              [-cpuprofile f] [-memprofile f] [-trace f] [-pprof addr]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"ristretto/internal/experiments"
+	"ristretto/internal/telemetry"
 )
 
 func main() {
@@ -27,8 +31,17 @@ func main() {
 	tiles := flag.String("tiles", "8,16,32,64", "comma-separated tile counts")
 	mults := flag.String("mults", "8,16,32", "comma-separated multipliers per tile")
 	grans := flag.String("grans", "1,2,3", "comma-separated atom granularities")
+	telem := flag.Bool("telemetry", false, "enable telemetry and print the stage-utilization table and counter snapshot")
+	manifestPath := flag.String("manifest", "", "also write a run manifest to this path (implies -telemetry)")
+	version := flag.Bool("version", false, "print version and VCS info, then exit")
+	var prof telemetry.Profiler
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	if *version {
+		fmt.Println(telemetry.VersionString("ristretto-dse"))
+		return
+	}
 	if !validPrecision(*precision) {
 		fatal(fmt.Errorf("invalid -precision %q (allowed: %s)", *precision, strings.Join(experiments.PrecisionNames, ", ")))
 	}
@@ -38,6 +51,18 @@ func main() {
 	if *parallel < 0 {
 		fatal(fmt.Errorf("invalid -parallel %d: must be >= 0 (0 = all CPUs)", *parallel))
 	}
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "ristretto-dse:", err)
+		}
+	}()
+	if *manifestPath != "" {
+		*telem = true
+	}
+	telemetry.Default.SetEnabled(*telem)
 
 	b := experiments.NewQuickBench(*seed, *scale)
 	b.Nets = []string{*net}
@@ -48,6 +73,26 @@ func main() {
 	}
 	fmt.Println(r.String())
 	fmt.Println("* = Pareto-optimal on (cycles, area, energy)")
+	if *telem {
+		snap := telemetry.Default.Snapshot()
+		fmt.Println("\n== Stage utilization ==")
+		fmt.Print(snap.StageTable())
+		if *manifestPath != "" {
+			m := telemetry.NewManifest("ristretto-dse")
+			m.Seed = *seed
+			m.Scale = *scale
+			m.Workers = *parallel
+			if m.Workers <= 0 {
+				m.Workers = runtime.NumCPU()
+			}
+			m.Nets = []string{*net}
+			m.AttachSnapshot(snap)
+			if err := m.Write(*manifestPath); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "ristretto-dse: run manifest written to %s\n", *manifestPath)
+		}
+	}
 }
 
 func validPrecision(p string) bool {

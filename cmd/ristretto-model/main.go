@@ -20,6 +20,7 @@ import (
 	"ristretto/internal/model"
 	"ristretto/internal/modelio"
 	"ristretto/internal/quant"
+	"ristretto/internal/telemetry"
 	"ristretto/internal/workload"
 )
 
@@ -31,7 +32,13 @@ func main() {
 	precision := flag.String("precision", "4b", "8b, 4b or 2b")
 	seed := flag.Int64("seed", 1, "workload seed")
 	out := flag.String("out", ".", "output directory")
+	version := flag.Bool("version", false, "print version and VCS info, then exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(telemetry.VersionString("ristretto-model"))
+		return
+	}
 
 	switch {
 	case *inspect != "":

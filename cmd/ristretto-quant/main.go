@@ -16,6 +16,7 @@ import (
 
 	"ristretto/internal/atom"
 	"ristretto/internal/quant"
+	"ristretto/internal/telemetry"
 )
 
 func main() {
@@ -24,7 +25,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "rng seed")
 	pruneW := flag.Float64("prune-w", 0, "additionally prune weights to this density (0 = off)")
 	pruneA := flag.Float64("prune-a", 0, "additionally prune activations to this density (0 = off)")
+	version := flag.Bool("version", false, "print version and VCS info, then exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(telemetry.VersionString("ristretto-quant"))
+		return
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	raw := make([]float64, *n)

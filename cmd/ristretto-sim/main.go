@@ -5,7 +5,8 @@
 //
 //	ristretto-sim -net ResNet-18 -precision 4b -accel ristretto
 //	              [-tiles 32] [-mults 32] [-gran 2] [-balance wa|w|none]
-//	              [-seed 1] [-scale 1] [-layers]
+//	              [-seed 1] [-scale 1] [-layers] [-telemetry] [-manifest path]
+//	              [-cpuprofile f] [-memprofile f] [-trace f] [-pprof addr]
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"ristretto/internal/experiments"
 	"ristretto/internal/model"
 	"ristretto/internal/ristretto"
+	"ristretto/internal/telemetry"
 )
 
 func main() {
@@ -38,7 +40,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	scale := flag.Int("scale", 1, "spatial scale-down factor")
 	perLayer := flag.Bool("layers", false, "print per-layer detail (ristretto only)")
+	telem := flag.Bool("telemetry", false, "enable telemetry and print the counter snapshot")
+	manifestPath := flag.String("manifest", "", "also write a run manifest to this path (implies -telemetry)")
+	version := flag.Bool("version", false, "print version and VCS info, then exit")
+	var prof telemetry.Profiler
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(telemetry.VersionString("ristretto-sim"))
+		return
+	}
 
 	// Validate every enum flag up front: an unknown value must name the
 	// allowed set and exit non-zero instead of silently falling through (or
@@ -62,6 +74,18 @@ func main() {
 	if _, err := model.ByName(*net); err != nil {
 		fatal(err)
 	}
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "ristretto-sim:", err)
+		}
+	}()
+	if *manifestPath != "" {
+		*telem = true
+	}
+	telemetry.Default.SetEnabled(*telem)
 	b := experiments.NewQuickBench(*seed, *scale)
 	b.Nets = []string{*net}
 	n := b.Networks()[0]
@@ -120,6 +144,24 @@ func main() {
 	fmt.Printf("energy       : %.3f mJ (compute %.3f, on-chip %.3f, DRAM %.3f)\n",
 		split.Total()/1e9, split.ComputePJ/1e9, split.OnChipPJ/1e9, split.OffChipPJ/1e9)
 	fmt.Printf("DRAM traffic : %.2f MB\n", float64(cnt.DRAMBytes)/(1<<20))
+
+	if *telem {
+		snap := telemetry.Default.Snapshot()
+		fmt.Println("\n== Telemetry ==")
+		fmt.Print(snap.String())
+		if *manifestPath != "" {
+			m := telemetry.NewManifest("ristretto-sim")
+			m.Seed = *seed
+			m.Scale = *scale
+			m.Workers = 1
+			m.Nets = []string{*net}
+			m.AttachSnapshot(snap)
+			if err := m.Write(*manifestPath); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "ristretto-sim: run manifest written to %s\n", *manifestPath)
+		}
+	}
 }
 
 func checkEnum(name, val string, allowed []string) {

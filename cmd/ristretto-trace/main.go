@@ -4,10 +4,16 @@
 //
 // Usage:
 //
-//	ristretto-trace -acts zoo/conv.acts.rstt -weights zoo/conv.weights.rstt -out trace.jsonl
-//	ristretto-trace -synth -out trace.jsonl        # small synthetic layer
+//	ristretto-trace -synth [-out trace.jsonl]      # small synthetic layer
+//	ristretto-trace -acts zoo/conv3_2.acts.rstt -weights zoo/conv3_2.weights.rstt [-out trace.jsonl]
 //
-// Each line is a TraceEvent: {"cycle":..,"tile":..,"event":"chunk_start",...}.
+// Input is either -synth (a small synthetic layer controlled by -seed,
+// default 1) or a pair of .rstt tensor files exported by ristretto-model
+// (-acts + -weights). Simulator shape flags and their defaults: -tiles 4,
+// -mults 16, -gran 2, -stride 1, -pad 1. The trace is written to -out
+// (default "trace.jsonl"), one TraceEvent JSON object per line:
+// {"cycle":..,"tile":..,"event":"chunk_start",...}. README.md's Tools
+// section documents the same flag set; keep the two in sync.
 package main
 
 import (
@@ -19,22 +25,29 @@ import (
 	"ristretto/internal/balance"
 	"ristretto/internal/modelio"
 	"ristretto/internal/ristretto"
+	"ristretto/internal/telemetry"
 	"ristretto/internal/tensor"
 	"ristretto/internal/workload"
 )
 
 func main() {
 	actsPath := flag.String("acts", "", "feature-map .rstt file (from ristretto-model)")
-	weightsPath := flag.String("weights", "", "kernel-stack .rstt file")
+	weightsPath := flag.String("weights", "", "kernel-stack .rstt file (from ristretto-model)")
 	synth := flag.Bool("synth", false, "use a small synthetic layer instead of files")
 	out := flag.String("out", "trace.jsonl", "JSONL trace output path")
 	tiles := flag.Int("tiles", 4, "compute tiles")
 	mults := flag.Int("mults", 16, "multipliers per tile")
-	gran := flag.Int("gran", 2, "atom granularity")
+	gran := flag.Int("gran", 2, "atom granularity in bits (1-3)")
 	stride := flag.Int("stride", 1, "convolution stride")
 	pad := flag.Int("pad", 1, "convolution padding")
-	seed := flag.Int64("seed", 1, "synthetic workload seed")
+	seed := flag.Int64("seed", 1, "synthetic workload seed (with -synth)")
+	version := flag.Bool("version", false, "print version and VCS info, then exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(telemetry.VersionString("ristretto-trace"))
+		return
+	}
 
 	var f *tensor.FeatureMap
 	var w *tensor.KernelStack

@@ -5,17 +5,24 @@ import (
 	"time"
 
 	"ristretto/internal/runner"
+	"ristretto/internal/telemetry"
 )
 
 // RunStats describes how a full sweep executed: the worker bound, the
-// wall-clock time of the whole run, and the summed per-experiment durations
-// (what a serial run would roughly have cost). Speedup is their ratio — the
-// effective parallelism achieved.
+// wall-clock time of the whole run, the summed per-experiment durations
+// (what a serial run would roughly have cost), and the per-experiment
+// timing breakdown that run manifests record. Speedup is the Work/Elapsed
+// ratio — the effective parallelism achieved.
 type RunStats struct {
 	Experiments int
 	Workers     int
 	Elapsed     time.Duration
 	Work        time.Duration
+
+	// Timings lists one entry per experiment job in paper order: the result
+	// IDs the job regenerated, total rows, and its wall time. Only the
+	// durations vary run to run; IDs and rows are deterministic.
+	Timings []telemetry.ExperimentTiming
 }
 
 // Speedup returns the effective wall-clock speedup over running the same
@@ -66,24 +73,34 @@ func (b *Bench) AllStats() ([]*Result, RunStats) {
 		one(b.ExtBalancingNetworks),
 		one(b.ExtMultiCore),
 	}
+	type jobOut struct {
+		rs      []*Result
+		elapsed time.Duration
+	}
 	var workNS atomic.Int64
 	start := time.Now()
-	groups, _ := runner.Map(b.pool(), len(jobs), func(i int) ([]*Result, error) {
+	groups, _ := runner.Map(b.pool(), len(jobs), func(i int) (jobOut, error) {
 		t0 := time.Now()
 		rs := jobs[i]()
-		workNS.Add(int64(time.Since(t0)))
-		return rs, nil
+		d := time.Since(t0)
+		workNS.Add(int64(d))
+		return jobOut{rs: rs, elapsed: d}, nil
 	})
 	var out []*Result
+	stats := RunStats{Workers: b.pool().Workers()}
 	for _, g := range groups {
-		out = append(out, g...)
+		out = append(out, g.rs...)
+		t := telemetry.ExperimentTiming{Millis: float64(g.elapsed.Nanoseconds()) / 1e6}
+		for _, r := range g.rs {
+			t.IDs = append(t.IDs, r.ID)
+			t.Rows += len(r.Rows)
+		}
+		stats.Timings = append(stats.Timings, t)
 	}
-	return out, RunStats{
-		Experiments: len(out),
-		Workers:     b.pool().Workers(),
-		Elapsed:     time.Since(start),
-		Work:        time.Duration(workNS.Load()),
-	}
+	stats.Experiments = len(out)
+	stats.Elapsed = time.Since(start)
+	stats.Work = time.Duration(workNS.Load())
+	return out, stats
 }
 
 // Extensions runs every extension study (serially; All fans them out

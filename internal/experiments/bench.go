@@ -8,6 +8,7 @@ import (
 	"ristretto/internal/atom"
 	"ristretto/internal/model"
 	"ristretto/internal/runner"
+	"ristretto/internal/telemetry"
 	"ristretto/internal/workload"
 )
 
@@ -121,8 +122,38 @@ func (b *Bench) Stats(n *model.Network, precision string, gran atom.Granularity)
 		}
 		g := workload.NewGen(workload.DeriveSeed(b.Seed, "stats", n.Name, precision, fmt.Sprint(int(gran)), fmt.Sprint(b.Scale)))
 		e.stats = g.NetworkStats(sn, p, gran, true)
+		observeWorkload(precision, e.stats)
 	})
 	return e.stats
+}
+
+// observeWorkload flushes per-precision stream statistics of a freshly
+// synthesized workload into the telemetry registry: value/atom densities
+// (αv/βv/αa/βa, in percent) as histograms over layers, and total compressed
+// stream lengths as counters. These are the measured numbers behind the
+// deviation notes in EXPERIMENTS.md — how much shorter the atom streams get
+// as precision narrows.
+func observeWorkload(precision string, stats []workload.LayerStats) {
+	r := telemetry.Default
+	if !r.Enabled() {
+		return
+	}
+	actVD := r.Histogram("workload.act_value_density_pct." + precision)
+	wVD := r.Histogram("workload.weight_value_density_pct." + precision)
+	actAD := r.Histogram("workload.act_atom_density_pct." + precision)
+	wAD := r.Histogram("workload.weight_atom_density_pct." + precision)
+	actAtoms := r.Counter("workload.act_atoms." + precision)
+	wAtoms := r.Counter("workload.weight_atoms." + precision)
+	denseAtoms := r.Counter("workload.dense_atoms." + precision)
+	for _, st := range stats {
+		actVD.Observe(int64(100 * st.A.ValueDensity))
+		wVD.Observe(int64(100 * st.W.ValueDensity))
+		actAD.Observe(int64(100 * st.A.AtomDensity))
+		wAD.Observe(int64(100 * st.W.AtomDensity))
+		actAtoms.Add(int64(st.A.NonZeroAtoms))
+		wAtoms.Add(int64(st.W.NonZeroAtoms))
+		denseAtoms.Add(int64(st.A.DenseAtoms + st.W.DenseAtoms))
+	}
 }
 
 // Networks returns the benchmark networks of the paper (or the configured

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ristretto/internal/atom"
+	"ristretto/internal/telemetry"
 )
 
 // renderAll runs the full suite at the given worker count and returns the
@@ -29,8 +30,15 @@ func renderAll(t *testing.T, workers int) string {
 // TestAllDeterministicAcrossWorkers is the bit-identity guarantee behind the
 // -parallel flag: every experiment derives its own seed per cell and results
 // are collected in index order, so the rendered output must not depend on the
-// worker count.
+// worker count. It runs with telemetry enabled, pinning the second guarantee
+// the -telemetry flag relies on: instrumentation must not perturb a single
+// byte either (TestTelemetryBitInvisible covers on-vs-off equality).
 func TestAllDeterministicAcrossWorkers(t *testing.T) {
+	telemetry.Default.SetEnabled(true)
+	t.Cleanup(func() {
+		telemetry.Default.SetEnabled(false)
+		telemetry.Default.Reset()
+	})
 	serial := renderAll(t, 1)
 	if serial == "" {
 		t.Fatal("serial run produced no output")

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ristretto/internal/telemetry"
+)
+
+// renderCSVs renders every experiment of a small suite as CSV bytes.
+func renderCSVs(t *testing.T, workers int) string {
+	t.Helper()
+	b := NewQuickBench(1, 8)
+	b.Nets = []string{"AlexNet"}
+	b.Workers = workers
+	var sb strings.Builder
+	for _, r := range b.All() {
+		if r.Err != nil {
+			t.Fatalf("%s failed: %v", r.ID, r.Err)
+		}
+		if err := r.WriteCSV(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sb.String()
+}
+
+// TestTelemetryBitInvisible is the off-switch guarantee of the telemetry
+// subsystem: enabling the Default registry must not change a single byte of
+// any experiment's CSV output — telemetry observes the computation, it
+// never participates in it.
+func TestTelemetryBitInvisible(t *testing.T) {
+	telemetry.Default.SetEnabled(false)
+	off := renderCSVs(t, 2)
+
+	telemetry.Default.Reset()
+	telemetry.Default.SetEnabled(true)
+	t.Cleanup(func() {
+		telemetry.Default.SetEnabled(false)
+		telemetry.Default.Reset()
+	})
+	on := renderCSVs(t, 2)
+
+	if on != off {
+		t.Fatalf("telemetry-on CSV output differs from telemetry-off (first diverging line: %q)", diffLine(off, on))
+	}
+
+	// And the observation side must actually have observed something: the
+	// suite exercises both the parallel runner and the analytic model.
+	snap := telemetry.Default.Snapshot()
+	if snap.Counters["runner.cells"] == 0 {
+		t.Error("telemetry enabled but runner.cells is zero")
+	}
+	if snap.Counters["ristretto.analytic.layers"] == 0 {
+		t.Error("telemetry enabled but ristretto.analytic.layers is zero")
+	}
+	// The cycle-simulated experiments populate all three pipeline stages.
+	for _, rep := range snap.StageReports() {
+		if rep.Busy == 0 {
+			t.Errorf("stage %s recorded no busy cycles", rep.Stage)
+		}
+	}
+}

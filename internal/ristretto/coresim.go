@@ -7,6 +7,7 @@ import (
 	"ristretto/internal/core"
 	"ristretto/internal/energy"
 	"ristretto/internal/refconv"
+	"ristretto/internal/telemetry"
 	"ristretto/internal/tensor"
 )
 
@@ -61,6 +62,8 @@ type CoreSimResult struct {
 	DrainWait  int64   // cycles tiles spent queued on the output port
 	LoadCycles int64   // cycles spent loading static streams
 	Stalls     int64   // crossbar/FIFO stalls inside tiles
+	Conflicts  int64   // crossbar deliveries deferred by a same-bank write
+	Stages     telemetry.StageCycles
 	Counters   energy.Counters
 }
 
@@ -103,6 +106,7 @@ type coreTile struct {
 	drainLeft  int   // cycles of output-port occupancy requested
 	drainShift uint8 // decoupled weight-slice shift of the pending drain
 
+	occ  *telemetry.Histogram // accumulate-bank occupancy at drain (nil = telemetry off)
 	busy int64
 }
 
@@ -111,8 +115,8 @@ type bankKey struct {
 	addr int
 }
 
-func newCoreTile(cfg TileConfig, loadWidth, drainWidth int, jobs []tileJob, tc *traceCtx) *coreTile {
-	t := &coreTile{cfg: cfg, loadWidth: loadWidth, drainWidth: drainWidth, jobs: jobs, bank: map[bankKey]int32{}, tc: tc}
+func newCoreTile(cfg TileConfig, loadWidth, drainWidth int, jobs []tileJob, tc *traceCtx, occ *telemetry.Histogram) *coreTile {
+	t := &coreTile{cfg: cfg, loadWidth: loadWidth, drainWidth: drainWidth, jobs: jobs, bank: map[bankKey]int32{}, tc: tc, occ: occ}
 	t.nextJob()
 	return t
 }
@@ -170,6 +174,11 @@ func (t *coreTile) step(res *CoreSimResult, drainPortFree *bool) {
 	j := t.jobs[t.job]
 	switch t.state {
 	case tileLoading:
+		// The stream pipeline waits on the static-stream fill: all three
+		// stages idle (the load is accounted separately in LoadCycles).
+		res.Stages.Idle[telemetry.StageAtomizer]++
+		res.Stages.Idle[telemetry.StageAtomputer]++
+		res.Stages.Idle[telemetry.StageAtomulator]++
 		t.loadLeft--
 		res.LoadCycles++
 		res.Counters.WeightBufBytes += 4
@@ -177,10 +186,16 @@ func (t *coreTile) step(res *CoreSimResult, drainPortFree *bool) {
 			t.state = tileStreaming
 		}
 	case tileDraining:
+		// The accumulate-buffer drain is Atomulator work; the upstream
+		// stages have nothing to do until the next chunk starts.
+		res.Stages.Idle[telemetry.StageAtomizer]++
+		res.Stages.Idle[telemetry.StageAtomputer]++
 		if !*drainPortFree {
+			res.Stages.Stall[telemetry.StageAtomulator]++
 			res.DrainWait++
 			return
 		}
+		res.Stages.Busy[telemetry.StageAtomulator]++
 		*drainPortFree = false
 		t.drainLeft--
 		res.Counters.OutputBufBytes += int64(t.cfg.Mults) // port width in bytes/cycle
@@ -217,17 +232,22 @@ func (t *coreTile) streamCycle(res *CoreSimResult) {
 
 	// Crossbar: one delivery per bank per cycle.
 	written := map[uint16]bool{}
+	pending := false
+	wrote := 0
 	for s := range t.slots {
 		if len(t.slots[s].fifo) == 0 {
 			continue
 		}
+		pending = true
 		d := t.slots[s].fifo[0]
 		if written[d.k] {
+			res.Conflicts++
 			continue
 		}
 		written[d.k] = true
 		t.slots[s].fifo = t.slots[s].fifo[1:]
 		t.bank[bankKey{d.k, d.addr}] += d.val
+		wrote++
 		res.Counters.AccBufBytes += 4
 	}
 
@@ -238,6 +258,8 @@ func (t *coreTile) streamCycle(res *CoreSimResult) {
 			break
 		}
 	}
+	hadInput := t.pos < len(j.acts)
+	fed, multed := false, false
 	if advance {
 		for s := len(t.slots) - 1; s > 0; s-- {
 			t.slots[s].reg = t.slots[s-1].reg
@@ -245,6 +267,7 @@ func (t *coreTile) streamCycle(res *CoreSimResult) {
 		if t.pos < len(j.acts) {
 			a := j.acts[t.pos]
 			t.pos++
+			fed = true
 			t.slots[0].reg = &a
 			res.Counters.AtomizerOps++
 			res.Counters.InputBufBytes++
@@ -256,6 +279,7 @@ func (t *coreTile) streamCycle(res *CoreSimResult) {
 			if a == nil {
 				continue
 			}
+			multed = true
 			res.Counters.AtomMuls++
 			t.slots[s].acc += int32(t.slots[s].w.Mag) * (int32(a.Mag) << a.Shift)
 			if a.Last {
@@ -273,6 +297,7 @@ func (t *coreTile) streamCycle(res *CoreSimResult) {
 	} else {
 		res.Stalls++
 	}
+	classifyStages(&res.Stages, fed, multed, advance, hadInput, pending, wrote)
 
 	// Chunk complete when the stream has fully drained through the chain
 	// and FIFOs are empty; then request the output port for the bank drain
@@ -290,6 +315,9 @@ func (t *coreTile) streamCycle(res *CoreSimResult) {
 			lastOfSlice := t.chunk == len(t.chunks)-1 || t.chunks[t.chunk+1][0].Shift != shift
 			if lastOfSlice {
 				t.tc.emit("drain_start", t.job, t.chunk, "")
+				if t.occ != nil {
+					t.occ.Observe(int64(len(t.bank)))
+				}
 				t.drainShift = shift
 				t.drainLeft = (len(t.bank) + t.drainWidth - 1) / t.drainWidth
 				if t.drainLeft < 1 {
@@ -340,6 +368,17 @@ func SimulateCore(f *tensor.FeatureMap, w *tensor.KernelStack, stride, pad int, 
 
 	// Per-tile job lists; every job owns its private full buffer so the
 	// overlap-add stays race-free across tiles.
+	var occHist *telemetry.Histogram
+	if telemetry.Default.Enabled() {
+		occHist = telemetry.Default.Histogram("ristretto.accbuf.occupancy_entries")
+		var actAtoms, wAtoms int64
+		for c := 0; c < f.C; c++ {
+			actAtoms += int64(tatoms[c])
+			wAtoms += int64(watoms[c])
+		}
+		telemetry.Default.Counter("ristretto.stream.act_atoms").Add(actAtoms)
+		telemetry.Default.Counter("ristretto.stream.weight_atoms").Add(wAtoms)
+	}
 	res := CoreSimResult{TileBusy: make([]int64, cfg.Tiles)}
 	cts := make([]*coreTile, cfg.Tiles)
 	tcs := make([]*traceCtx, cfg.Tiles)
@@ -361,7 +400,7 @@ func SimulateCore(f *tensor.FeatureMap, w *tensor.KernelStack, stride, pad int, 
 				fulls = append(fulls, j)
 			}
 		}
-		cts[g] = newCoreTile(cfg.Tile, cfg.LoadWidth, cfg.DrainWidth, jobs, tcs[g])
+		cts[g] = newCoreTile(cfg.Tile, cfg.LoadWidth, cfg.DrainWidth, jobs, tcs[g], occHist)
 	}
 
 	// Global cycle loop.
@@ -390,5 +429,6 @@ func SimulateCore(f *tensor.FeatureMap, w *tensor.KernelStack, stride, pad int, 
 		refconv.AddTileFull(global, j.full, j.tile)
 	}
 	res.Output = refconv.ExtractStrided(global, f.H, f.W, w.KH, w.KW, stride, pad)
+	telemetry.Default.AddStageCycles(res.Stages)
 	return res
 }

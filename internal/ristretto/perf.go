@@ -3,6 +3,7 @@ package ristretto
 import (
 	"ristretto/internal/balance"
 	"ristretto/internal/energy"
+	"ristretto/internal/telemetry"
 	"ristretto/internal/workload"
 )
 
@@ -214,6 +215,21 @@ func EstimateNetwork(stats []workload.LayerStats, cfg Config) NetworkPerf {
 		np.Cycles += lp.Cycles
 		np.Counters.Add(lp.Counters)
 		np.Layers = append(np.Layers, lp)
+	}
+	if r := telemetry.Default; r.Enabled() {
+		r.Counter("ristretto.analytic.networks").Inc()
+		r.Counter("ristretto.analytic.layers").Add(int64(len(np.Layers)))
+		r.Counter("ristretto.analytic.cycles").Add(np.Cycles)
+		r.Counter("ristretto.analytic.atom_muls").Add(np.Counters.AtomMuls)
+		r.Counter("ristretto.analytic.dram_bytes").Add(np.Counters.DRAMBytes)
+		util := r.Histogram("ristretto.analytic.layer_utilization_pct")
+		memBound := r.Counter("ristretto.analytic.memory_bound_layers")
+		for _, lp := range np.Layers {
+			util.Observe(int64(100 * lp.Utilization))
+			if lp.MemoryBound {
+				memBound.Inc()
+			}
+		}
 	}
 	return np
 }

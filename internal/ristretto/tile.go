@@ -12,6 +12,7 @@ import (
 	"ristretto/internal/atom"
 	"ristretto/internal/core"
 	"ristretto/internal/energy"
+	"ristretto/internal/telemetry"
 	"ristretto/internal/tensor"
 )
 
@@ -46,6 +47,8 @@ type TileResult struct {
 	Products    int64 // atom multiplications performed
 	Deliveries  int64 // accumulator deliveries routed through the crossbar
 	Rounds      int   // static-stream chunks processed
+	Conflicts   int64 // crossbar deliveries deferred by a same-bank write
+	Stages      telemetry.StageCycles
 	Counters    energy.Counters
 }
 
@@ -106,7 +109,14 @@ func SimulateIntersection(acts []core.ActAtom, weights []core.WeightAtom, kh, kw
 		addr int
 	}
 	bank := map[bankKey]int32{}
+	var occHist *telemetry.Histogram
+	if telemetry.Default.Enabled() {
+		occHist = telemetry.Default.Histogram("ristretto.accbuf.occupancy_entries")
+	}
 	drain := func(shift uint8) {
+		if occHist != nil {
+			occHist.Observe(int64(len(bank)))
+		}
 		for key, v := range bank {
 			yo := key.addr / fullW
 			xo := key.addr % fullW
@@ -131,17 +141,22 @@ func SimulateIntersection(acts []core.ActAtom, weights []core.WeightAtom, kh, kw
 		for {
 			// 1. Crossbar: each bank accepts one delivery per cycle.
 			written := map[uint16]bool{}
+			pending := false
+			wrote := 0
 			for j := range slots {
 				if len(slots[j].fifo) == 0 {
 					continue
 				}
+				pending = true
 				d := slots[j].fifo[0]
 				if written[d.k] {
+					res.Conflicts++
 					continue
 				}
 				written[d.k] = true
 				slots[j].fifo = slots[j].fifo[1:]
 				bank[bankKey{d.k, d.addr}] += d.val
+				wrote++
 				res.Counters.AccBufBytes += 4
 			}
 
@@ -154,6 +169,7 @@ func SimulateIntersection(acts []core.ActAtom, weights []core.WeightAtom, kh, kw
 				}
 			}
 			done := pos >= len(acts)
+			fed, multed := false, false
 			if advance {
 				// Systolic shift.
 				for j := m - 1; j > 0; j-- {
@@ -162,6 +178,7 @@ func SimulateIntersection(acts []core.ActAtom, weights []core.WeightAtom, kh, kw
 				if pos < len(acts) {
 					a := acts[pos]
 					pos++
+					fed = true
 					slots[0].reg = &a
 					res.Counters.AtomizerOps++
 				} else {
@@ -173,6 +190,7 @@ func SimulateIntersection(acts []core.ActAtom, weights []core.WeightAtom, kh, kw
 					if a == nil {
 						continue
 					}
+					multed = true
 					res.Products++
 					res.Counters.AtomMuls++
 					slots[j].acc += int32(slots[j].w.Mag) * (int32(a.Mag) << a.Shift)
@@ -192,6 +210,7 @@ func SimulateIntersection(acts []core.ActAtom, weights []core.WeightAtom, kh, kw
 			} else if !done {
 				res.StallCycles++
 			}
+			classifyStages(&res.Stages, fed, multed, advance, !done, pending, wrote)
 			cycles++
 			if pos >= len(acts) && entered == 0 {
 				entered = cycles
@@ -226,7 +245,51 @@ func SimulateIntersection(acts []core.ActAtom, weights []core.WeightAtom, kh, kw
 		// The activation stream is re-read from the input buffer each round.
 		res.Counters.InputBufBytes += int64(len(acts)) // ≈1B per atom incl. coords
 	}
+	telemetry.Default.AddStageCycles(res.Stages)
 	return res
+}
+
+// classifyStages attributes one pipeline cycle to the busy/stall/idle bucket
+// of each of the three stages (the accounting behind the -telemetry
+// stage-utilization table):
+//
+//   - Atomizer: busy when it injected an atom, stalled when it had atoms to
+//     feed but back-pressure blocked the advance, idle once the stream is
+//     exhausted (chain drain).
+//   - Atomputer: busy when any multiplier stage held an atom this cycle,
+//     stalled when the chain could not advance, idle when it advanced empty.
+//   - Atomulator: busy when the crossbar committed at least one delivery,
+//     stalled when deliveries were pending but none could commit, idle when
+//     no delivery was waiting.
+//
+// The classification is computed from values the simulators already
+// maintain, so it costs a few branches per cycle whether or not telemetry
+// is enabled — the flush to the registry is what Enabled gates.
+func classifyStages(sc *telemetry.StageCycles, fed, multed, advance, hadInput, pending bool, wrote int) {
+	switch {
+	case fed:
+		sc.Busy[telemetry.StageAtomizer]++
+	case !advance && hadInput:
+		sc.Stall[telemetry.StageAtomizer]++
+	default:
+		sc.Idle[telemetry.StageAtomizer]++
+	}
+	switch {
+	case advance && multed:
+		sc.Busy[telemetry.StageAtomputer]++
+	case !advance:
+		sc.Stall[telemetry.StageAtomputer]++
+	default:
+		sc.Idle[telemetry.StageAtomputer]++
+	}
+	switch {
+	case wrote > 0:
+		sc.Busy[telemetry.StageAtomulator]++
+	case pending:
+		sc.Stall[telemetry.StageAtomulator]++
+	default:
+		sc.Idle[telemetry.StageAtomulator]++
+	}
 }
 
 // SliceAlignedSteps predicts the stall-free cycle count of

@@ -10,6 +10,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"ristretto/internal/telemetry"
 )
 
 // Pool is a concurrency budget for Map calls. It carries no state between
@@ -50,10 +53,32 @@ func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 	if workers > n {
 		workers = n
 	}
+
+	// Telemetry taps (workload shape under the parallel harness): cells run,
+	// per-cell wall time and the in-flight depth at dispatch. Handles are
+	// resolved once per Map call; when telemetry is off the wrapper reduces
+	// to the bare fn call, so the hot path stays allocation-free either way.
+	run := fn
+	if r := telemetry.Default; r.Enabled() {
+		cells := r.Counter("runner.cells")
+		cellNS := r.Histogram("runner.cell_ns")
+		depth := r.Histogram("runner.queue_depth")
+		var inflight atomic.Int64
+		run = func(i int) (T, error) {
+			depth.Observe(inflight.Add(1))
+			t0 := time.Now()
+			v, err := fn(i)
+			cellNS.Observe(time.Since(t0).Nanoseconds())
+			inflight.Add(-1)
+			cells.Inc()
+			return v, err
+		}
+	}
+
 	if workers == 1 {
 		// Serial fast path: no goroutines, stop at the first error.
 		for i := 0; i < n; i++ {
-			v, err := fn(i)
+			v, err := run(i)
 			if err != nil {
 				return out, err
 			}
@@ -78,7 +103,7 @@ func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 				if i >= n || int64(i) > failed.Load() {
 					return
 				}
-				v, err := fn(i)
+				v, err := run(i)
 				if err != nil {
 					errs[i] = err
 					// Record the lowest failing index.

@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+)
+
+// ManifestSchema identifies the run-manifest JSON layout. Bump the suffix
+// when the shape changes incompatibly; consumers should check it before
+// parsing.
+const ManifestSchema = "ristretto.run-manifest/v1"
+
+// ExperimentTiming records how long one experiment job of a sweep took and
+// what it produced. Jobs that regenerate several results (the taxonomy
+// tables) list every ID they covered.
+type ExperimentTiming struct {
+	IDs    []string `json:"ids"`
+	Rows   int      `json:"rows"`
+	Millis float64  `json:"ms"`
+}
+
+// Manifest is the structured record of one experiment run, written as JSON
+// alongside the CSVs in results/. Everything a table in EXPERIMENTS.md
+// depends on is captured: the exact seed/scale/worker configuration, the
+// build (git revision via runtime/debug.ReadBuildInfo), per-figure wall
+// times, the per-stage pipeline breakdown, and the raw counter/histogram
+// snapshot. The schema is documented in EXPERIMENTS.md.
+type Manifest struct {
+	Schema    string   `json:"schema"`
+	Tool      string   `json:"tool"`
+	CreatedAt string   `json:"created_at"` // RFC 3339, UTC
+	GoVersion string   `json:"go_version"`
+	VCS       VCSInfo  `json:"vcs"`
+	Args      []string `json:"args,omitempty"` // raw command line after the binary name
+
+	Seed    int64    `json:"seed"`
+	Scale   int      `json:"scale"`
+	Workers int      `json:"workers"` // resolved worker count (never 0)
+	CPUs    int      `json:"cpus"`
+	Nets    []string `json:"nets,omitempty"` // restricted benchmark subset, if any
+
+	WallMillis float64            `json:"wall_ms"` // whole-run wall clock
+	WorkMillis float64            `json:"work_ms"` // summed per-experiment time
+	Timings    []ExperimentTiming `json:"experiments,omitempty"`
+
+	Stages    []StageReport `json:"stages"` // always all three pipeline stages
+	Telemetry Snapshot      `json:"telemetry"`
+}
+
+// NewManifest returns a manifest stamped with the environment: schema, tool
+// name, creation time, Go version, CPU count, VCS info and the command
+// line.
+func NewManifest(tool string) *Manifest {
+	return &Manifest{
+		Schema:    ManifestSchema,
+		Tool:      tool,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		VCS:       ReadVCSInfo(),
+		Args:      os.Args[1:],
+		CPUs:      runtime.NumCPU(),
+	}
+}
+
+// AttachSnapshot stores the registry snapshot and derives the per-stage
+// reports from it.
+func (m *Manifest) AttachSnapshot(s Snapshot) {
+	m.Telemetry = s
+	m.Stages = s.StageReports()
+}
+
+// Write serializes the manifest as indented JSON to path, creating parent
+// directories as needed.
+func (m *Manifest) Write(path string) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers on DefaultServeMux
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Profiler bundles the profiling options every long-running cmd binary
+// exposes: CPU/heap profiles, a runtime execution trace, and an opt-in
+// net/http/pprof endpoint for live inspection under load.
+type Profiler struct {
+	CPUProfile string // write a CPU profile to this file
+	MemProfile string // write a heap profile to this file on Stop
+	TracePath  string // write a runtime/trace to this file
+	PprofAddr  string // serve net/http/pprof on this address (e.g. "localhost:6060")
+
+	cpuFile   *os.File
+	traceFile *os.File
+}
+
+// RegisterFlags installs the standard -cpuprofile/-memprofile/-trace/-pprof
+// flags on fs.
+func (p *Profiler) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&p.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&p.TracePath, "trace", "", "write a runtime execution trace to this file")
+	fs.StringVar(&p.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+}
+
+// Start begins whichever profiles were requested. It returns an error if a
+// profile file cannot be created or a profile cannot start; the pprof HTTP
+// endpoint runs on a background goroutine and reports its (unlikely) serve
+// error to stderr rather than aborting the run.
+func (p *Profiler) Start() error {
+	if p.CPUProfile != "" {
+		f, err := os.Create(p.CPUProfile)
+		if err != nil {
+			return fmt.Errorf("telemetry: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("telemetry: start CPU profile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	if p.TracePath != "" {
+		f, err := os.Create(p.TracePath)
+		if err != nil {
+			p.stopCPU()
+			return fmt.Errorf("telemetry: -trace: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			p.stopCPU()
+			return fmt.Errorf("telemetry: start trace: %w", err)
+		}
+		p.traceFile = f
+	}
+	if p.PprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(p.PprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry: pprof endpoint: %v\n", err)
+			}
+		}()
+	}
+	return nil
+}
+
+func (p *Profiler) stopCPU() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		p.cpuFile.Close()
+		p.cpuFile = nil
+	}
+}
+
+// Stop finalizes every profile Start began: it stops the CPU profile and
+// trace, and writes the heap profile if one was requested. It returns the
+// first error encountered but always attempts every stop.
+func (p *Profiler) Stop() error {
+	var first error
+	p.stopCPU()
+	if p.traceFile != nil {
+		trace.Stop()
+		if err := p.traceFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		p.traceFile = nil
+	}
+	if p.MemProfile != "" {
+		f, err := os.Create(p.MemProfile)
+		if err != nil {
+			if first == nil {
+				first = fmt.Errorf("telemetry: -memprofile: %w", err)
+			}
+		} else {
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("telemetry: write heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stage identifies one of the three pipeline stages of the Ristretto
+// compute tile (Section IV-C of the paper): the Atomizer feeds one non-zero
+// activation atom per cycle, the Atomputer is the systolic chain of atom
+// multipliers, and the Atomulator routes accumulator deliveries through
+// FIFOs and the crossbar into the accumulate banks (including their drain
+// to the output buffer).
+type Stage int
+
+// The three pipeline stages, in dataflow order.
+const (
+	StageAtomizer Stage = iota
+	StageAtomputer
+	StageAtomulator
+
+	// NumStages bounds the Stage enum; StageCycles arrays index by Stage.
+	NumStages
+)
+
+// String returns the lower-case stage name used in counter names and
+// manifests.
+func (s Stage) String() string {
+	switch s {
+	case StageAtomizer:
+		return "atomizer"
+	case StageAtomputer:
+		return "atomputer"
+	case StageAtomulator:
+		return "atomulator"
+	}
+	return fmt.Sprintf("stage(%d)", int(s))
+}
+
+// StageCycles is the per-stage busy/stall/idle cycle breakdown of a
+// simulation. Simulators accumulate into a local StageCycles with plain
+// increments (so disabled telemetry costs nothing beyond the classification
+// the simulator performs anyway) and flush it once at the end via
+// Registry.AddStageCycles.
+//
+// Per cycle and stage, exactly one of the three buckets is incremented:
+// busy (the stage did useful work), stall (it had work but back-pressure or
+// contention blocked it), idle (nothing to do — e.g. the stream is
+// exhausted and the chain is draining).
+type StageCycles struct {
+	Busy  [NumStages]int64
+	Stall [NumStages]int64
+	Idle  [NumStages]int64
+}
+
+// Merge accumulates another breakdown into sc.
+func (sc *StageCycles) Merge(o StageCycles) {
+	for s := Stage(0); s < NumStages; s++ {
+		sc.Busy[s] += o.Busy[s]
+		sc.Stall[s] += o.Stall[s]
+		sc.Idle[s] += o.Idle[s]
+	}
+}
+
+// Total returns busy+stall+idle cycles attributed to stage s.
+func (sc StageCycles) Total(s Stage) int64 {
+	return sc.Busy[s] + sc.Stall[s] + sc.Idle[s]
+}
+
+// stageCounterName builds the registry name for one stage bucket, e.g.
+// "ristretto.atomizer.busy_cycles".
+func stageCounterName(s Stage, bucket string) string {
+	return "ristretto." + s.String() + "." + bucket + "_cycles"
+}
+
+// AddStageCycles flushes a per-simulation stage breakdown into the
+// registry's stage counters. It is a no-op when the registry is disabled,
+// which is the only check instrumented simulators need.
+func (r *Registry) AddStageCycles(sc StageCycles) {
+	if !r.Enabled() {
+		return
+	}
+	for s := Stage(0); s < NumStages; s++ {
+		if n := sc.Busy[s]; n != 0 {
+			r.Counter(stageCounterName(s, "busy")).Add(n)
+		}
+		if n := sc.Stall[s]; n != 0 {
+			r.Counter(stageCounterName(s, "stall")).Add(n)
+		}
+		if n := sc.Idle[s]; n != 0 {
+			r.Counter(stageCounterName(s, "idle")).Add(n)
+		}
+	}
+}
+
+// StageReport is one row of the stage-utilization table: the aggregated
+// busy/stall/idle cycles of a pipeline stage and the derived fractions.
+type StageReport struct {
+	Stage string  `json:"stage"`
+	Busy  int64   `json:"busy_cycles"`
+	Stall int64   `json:"stall_cycles"`
+	Idle  int64   `json:"idle_cycles"`
+	Util  float64 `json:"utilization"` // busy / (busy+stall+idle)
+}
+
+// StageReports extracts the three pipeline-stage rows from a snapshot. All
+// three stages are always present (zero-valued when nothing ran), so
+// manifest consumers can rely on the shape.
+func (s Snapshot) StageReports() []StageReport {
+	out := make([]StageReport, 0, NumStages)
+	for st := Stage(0); st < NumStages; st++ {
+		rep := StageReport{
+			Stage: st.String(),
+			Busy:  s.Counters[stageCounterName(st, "busy")],
+			Stall: s.Counters[stageCounterName(st, "stall")],
+			Idle:  s.Counters[stageCounterName(st, "idle")],
+		}
+		if tot := rep.Busy + rep.Stall + rep.Idle; tot > 0 {
+			rep.Util = float64(rep.Busy) / float64(tot)
+		}
+		out = append(out, rep)
+	}
+	return out
+}
+
+// StageTable renders the per-stage utilization breakdown as an aligned text
+// table — what the -telemetry flag prints (the measured Figure 15 story).
+func (s Snapshot) StageTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-11s %14s %14s %14s %7s %7s\n", "stage", "busy", "stall", "idle", "util%", "stall%")
+	for _, rep := range s.StageReports() {
+		tot := rep.Busy + rep.Stall + rep.Idle
+		stallPct := 0.0
+		if tot > 0 {
+			stallPct = 100 * float64(rep.Stall) / float64(tot)
+		}
+		fmt.Fprintf(&b, "%-11s %14d %14d %14d %6.1f%% %6.1f%%\n",
+			rep.Stage, rep.Busy, rep.Stall, rep.Idle, 100*rep.Util, stallPct)
+	}
+	return b.String()
+}

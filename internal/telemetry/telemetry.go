@@ -1,0 +1,224 @@
+// Package telemetry is the observability spine of the repository: a
+// zero-allocation counter/histogram registry that the cycle simulators
+// (internal/ristretto), the analytic models, the baselines and the
+// experiment harness (internal/experiments, internal/runner) report into,
+// plus the run-manifest writer and the pprof/trace profiling helpers the
+// cmd/ binaries share.
+//
+// Telemetry is off by default and bit-invisible: instrumented code either
+// accumulates into plain local structs that are flushed once per simulation
+// (see StageCycles), or guards its taps on Registry.Enabled. Enabling
+// telemetry never changes a simulated number — the golden and determinism
+// tests in internal/experiments run with it enabled to enforce that.
+//
+// The hot-path primitives allocate nothing after registration: a Counter is
+// a single atomic add, a Histogram is an atomic add into a fixed
+// power-of-two bucket array. Handles returned by Counter/Histogram are
+// stable and safe to cache and share across goroutines, which is how the
+// parallel experiment runner aggregates without locks.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; Add/Inc are lock-free and safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// histBuckets is the fixed bucket count of a Histogram: bucket i holds
+// observations v with bits.Len64(v) == i, i.e. power-of-two ranges
+// [2^(i-1), 2^i). Bucket 0 holds zero (and clamped negative) observations.
+const histBuckets = 64
+
+// Histogram records a distribution of non-negative int64 observations in
+// fixed power-of-two buckets. The zero value is ready to use; Observe is
+// lock-free, allocation-free and safe for concurrent use. Negative
+// observations are clamped to zero.
+type Histogram struct {
+	buckets [histBuckets + 1]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// HistogramSummary is a point-in-time rollup of a Histogram, as serialized
+// into run manifests.
+type HistogramSummary struct {
+	Count   int64            `json:"count"`
+	Sum     int64            `json:"sum"`
+	Max     int64            `json:"max"`
+	Mean    float64          `json:"mean"`
+	Buckets map[string]int64 `json:"buckets,omitempty"` // "≤2^i" → count, empty buckets omitted
+}
+
+// Summary rolls the histogram up. Mean is exact (sum/count); the bucket map
+// keys are upper bounds ("<=1", "<=2", "<=4", ...).
+func (h *Histogram) Summary() HistogramSummary {
+	s := HistogramSummary{Count: h.count.Load(), Sum: h.sum.Load(), Max: h.max.Load()}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			if s.Buckets == nil {
+				s.Buckets = map[string]int64{}
+			}
+			s.Buckets[bucketLabel(i)] = n
+		}
+	}
+	return s
+}
+
+// bucketLabel names bucket i: the inclusive upper bound of its range.
+func bucketLabel(i int) string {
+	if i == 0 {
+		return "<=0"
+	}
+	if i >= 63 {
+		return fmt.Sprintf("<=%d", uint64(math.MaxInt64))
+	}
+	return fmt.Sprintf("<=%d", uint64(1)<<i-1)
+}
+
+// Registry holds named counters and histograms. Registration (first lookup
+// of a name) takes a lock; subsequent lookups are lock-free loads, and the
+// returned handles bypass the registry entirely. A disabled registry still
+// hands out working handles — Enabled is a convention for callers to gate
+// optional taps on, not a hard switch inside the primitives.
+type Registry struct {
+	enabled    atomic.Bool
+	counters   sync.Map // string → *Counter
+	histograms sync.Map // string → *Histogram
+}
+
+// NewRegistry returns an empty, disabled registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Default is the process-wide registry the instrumented packages report
+// into. It starts disabled; cmd binaries enable it behind their -telemetry
+// flag.
+var Default = NewRegistry()
+
+// Enabled reports whether instrumented code should record optional taps.
+func (r *Registry) Enabled() bool { return r.enabled.Load() }
+
+// SetEnabled switches optional taps on or off.
+func (r *Registry) SetEnabled(on bool) { r.enabled.Store(on) }
+
+// Counter returns the counter registered under name, creating it on first
+// use. The returned handle is stable for the registry's lifetime.
+func (r *Registry) Counter(name string) *Counter {
+	if v, ok := r.counters.Load(name); ok {
+		return v.(*Counter)
+	}
+	v, _ := r.counters.LoadOrStore(name, &Counter{})
+	return v.(*Counter)
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use. The returned handle is stable for the registry's lifetime.
+func (r *Registry) Histogram(name string) *Histogram {
+	if v, ok := r.histograms.Load(name); ok {
+		return v.(*Histogram)
+	}
+	v, _ := r.histograms.LoadOrStore(name, &Histogram{})
+	return v.(*Histogram)
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry, with
+// deterministically ordered names (see Names).
+type Snapshot struct {
+	Counters   map[string]int64            `json:"counters,omitempty"`
+	Histograms map[string]HistogramSummary `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the current value of every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{}
+	r.counters.Range(func(k, v any) bool {
+		if s.Counters == nil {
+			s.Counters = map[string]int64{}
+		}
+		s.Counters[k.(string)] = v.(*Counter).Load()
+		return true
+	})
+	r.histograms.Range(func(k, v any) bool {
+		if s.Histograms == nil {
+			s.Histograms = map[string]HistogramSummary{}
+		}
+		s.Histograms[k.(string)] = v.(*Histogram).Summary()
+		return true
+	})
+	return s
+}
+
+// Reset zeroes and deregisters every metric. Handles obtained before Reset
+// keep working but are no longer reachable from the registry — intended for
+// tests, not for hot paths.
+func (r *Registry) Reset() {
+	r.counters.Range(func(k, _ any) bool { r.counters.Delete(k); return true })
+	r.histograms.Range(func(k, _ any) bool { r.histograms.Delete(k); return true })
+}
+
+// CounterNames returns the registered counter names in sorted order.
+func (s Snapshot) CounterNames() []string {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the snapshot as an aligned name/value listing, counters
+// first, histograms (count/mean/max) after.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	for _, n := range s.CounterNames() {
+		fmt.Fprintf(&b, "%-44s %d\n", n, s.Counters[n])
+	}
+	hn := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		hn = append(hn, n)
+	}
+	sort.Strings(hn)
+	for _, n := range hn {
+		h := s.Histograms[n]
+		fmt.Fprintf(&b, "%-44s count=%d mean=%.1f max=%d\n", n, h.Count, h.Mean, h.Max)
+	}
+	return b.String()
+}

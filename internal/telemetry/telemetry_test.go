@@ -1,0 +1,220 @@
+package telemetry_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ristretto/internal/runner"
+	"ristretto/internal/telemetry"
+)
+
+func TestCounterAndHistogramBasics(t *testing.T) {
+	r := telemetry.NewRegistry()
+	c := r.Counter("x")
+	c.Add(3)
+	c.Inc()
+	if got := c.Load(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	if r.Counter("x") != c {
+		t.Fatal("Counter handle not stable across lookups")
+	}
+
+	h := r.Histogram("h")
+	for _, v := range []int64{0, 1, 2, 3, 4, 100, -5} {
+		h.Observe(v)
+	}
+	s := h.Summary()
+	if s.Count != 7 {
+		t.Fatalf("histogram count = %d, want 7", s.Count)
+	}
+	if s.Max != 100 {
+		t.Fatalf("histogram max = %d, want 100", s.Max)
+	}
+	// -5 clamps to 0, so sum = 0+1+2+3+4+100+0.
+	if s.Sum != 110 {
+		t.Fatalf("histogram sum = %d, want 110", s.Sum)
+	}
+	// Power-of-two buckets: <=0 holds {0, -5}; <=1 holds {1}; <=3 holds
+	// {2, 3}; <=7 holds {4}; <=127 holds {100}.
+	for bound, want := range map[string]int64{"<=0": 2, "<=1": 1, "<=3": 2, "<=7": 1, "<=127": 1} {
+		if s.Buckets[bound] != want {
+			t.Errorf("bucket %s = %d, want %d (buckets: %v)", bound, s.Buckets[bound], want, s.Buckets)
+		}
+	}
+}
+
+// TestAggregationUnderParallelRunner drives counter and histogram handles
+// from many concurrent worker-pool cells (run under -race in CI) and checks
+// the aggregate is exact: the lock-free primitives must not drop updates
+// however the pool schedules the cells.
+func TestAggregationUnderParallelRunner(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.SetEnabled(true)
+	c := reg.Counter("cells.work")
+	h := reg.Histogram("cells.value")
+
+	const n = 1000
+	p := runner.New(8)
+	_, err := runner.Map(p, n, func(i int) (int, error) {
+		c.Add(int64(i))
+		h.Observe(int64(i % 16))
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.Load(), int64(n*(n-1)/2); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	s := h.Summary()
+	if s.Count != n {
+		t.Fatalf("histogram count = %d, want %d", s.Count, n)
+	}
+	var wantSum int64
+	for i := 0; i < n; i++ {
+		wantSum += int64(i % 16)
+	}
+	if s.Sum != wantSum {
+		t.Fatalf("histogram sum = %d, want %d", s.Sum, wantSum)
+	}
+}
+
+// TestDefaultRegistryTapsUnderRunner exercises the runner's own telemetry
+// taps (queue depth, per-cell wall time) against the Default registry: the
+// cell counter must equal the number of cells run, with no lost updates
+// across workers.
+func TestDefaultRegistryTapsUnderRunner(t *testing.T) {
+	telemetry.Default.Reset()
+	telemetry.Default.SetEnabled(true)
+	t.Cleanup(func() {
+		telemetry.Default.SetEnabled(false)
+		telemetry.Default.Reset()
+	})
+
+	const n = 500
+	_, err := runner.Map(runner.New(4), n, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := telemetry.Default.Snapshot()
+	if got := snap.Counters["runner.cells"]; got != n {
+		t.Fatalf("runner.cells = %d, want %d", got, n)
+	}
+	depth := snap.Histograms["runner.queue_depth"]
+	if depth.Count != n {
+		t.Fatalf("queue_depth observations = %d, want %d", depth.Count, n)
+	}
+	if depth.Max > 4 {
+		t.Fatalf("queue depth %d exceeds the worker bound 4", depth.Max)
+	}
+	if ns := snap.Histograms["runner.cell_ns"]; ns.Count != n {
+		t.Fatalf("cell_ns observations = %d, want %d", ns.Count, n)
+	}
+}
+
+func TestStageCyclesMergeAndReports(t *testing.T) {
+	var a, b telemetry.StageCycles
+	a.Busy[telemetry.StageAtomizer] = 10
+	a.Stall[telemetry.StageAtomputer] = 5
+	b.Busy[telemetry.StageAtomizer] = 2
+	b.Idle[telemetry.StageAtomulator] = 7
+	a.Merge(b)
+	if a.Busy[telemetry.StageAtomizer] != 12 || a.Idle[telemetry.StageAtomulator] != 7 {
+		t.Fatalf("merge mismatch: %+v", a)
+	}
+	if a.Total(telemetry.StageAtomizer) != 12 {
+		t.Fatalf("total = %d, want 12", a.Total(telemetry.StageAtomizer))
+	}
+
+	r := telemetry.NewRegistry()
+	r.SetEnabled(true)
+	r.AddStageCycles(a)
+	reps := r.Snapshot().StageReports()
+	if len(reps) != int(telemetry.NumStages) {
+		t.Fatalf("got %d stage reports, want %d", len(reps), telemetry.NumStages)
+	}
+	if reps[0].Stage != "atomizer" || reps[0].Busy != 12 {
+		t.Fatalf("atomizer report = %+v", reps[0])
+	}
+	if reps[0].Util != 1.0 {
+		t.Fatalf("atomizer utilization = %v, want 1.0", reps[0].Util)
+	}
+
+	// A disabled registry must ignore the flush entirely.
+	off := telemetry.NewRegistry()
+	off.AddStageCycles(a)
+	if got := off.Snapshot().StageReports()[0].Busy; got != 0 {
+		t.Fatalf("disabled registry recorded %d busy cycles", got)
+	}
+}
+
+func TestStageTableAlwaysListsAllStages(t *testing.T) {
+	table := telemetry.NewRegistry().Snapshot().StageTable()
+	for _, stage := range []string{"atomizer", "atomputer", "atomulator"} {
+		if !strings.Contains(table, stage) {
+			t.Errorf("stage table missing %q:\n%s", stage, table)
+		}
+	}
+}
+
+func TestManifestWriteRoundTrip(t *testing.T) {
+	r := telemetry.NewRegistry()
+	r.SetEnabled(true)
+	r.Counter("a.b").Add(42)
+	var sc telemetry.StageCycles
+	sc.Busy[telemetry.StageAtomputer] = 9
+	r.AddStageCycles(sc)
+
+	m := telemetry.NewManifest("test-tool")
+	m.Seed, m.Scale, m.Workers = 1, 4, 2
+	m.AttachSnapshot(r.Snapshot())
+	path := filepath.Join(t.TempDir(), "sub", "run_manifest.json")
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back telemetry.Manifest
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != telemetry.ManifestSchema {
+		t.Fatalf("schema = %q, want %q", back.Schema, telemetry.ManifestSchema)
+	}
+	if back.Seed != 1 || back.Scale != 4 || back.Workers != 2 {
+		t.Fatalf("config round-trip mismatch: %+v", back)
+	}
+	if len(back.Stages) != int(telemetry.NumStages) {
+		t.Fatalf("manifest has %d stages, want %d", len(back.Stages), telemetry.NumStages)
+	}
+	if back.Telemetry.Counters["a.b"] != 42 {
+		t.Fatalf("counter a.b = %d, want 42", back.Telemetry.Counters["a.b"])
+	}
+	if back.Stages[int(telemetry.StageAtomputer)].Busy != 9 {
+		t.Fatalf("atomputer busy = %d, want 9", back.Stages[int(telemetry.StageAtomputer)].Busy)
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	v := telemetry.VersionString("ristretto-x")
+	if !strings.HasPrefix(v, "ristretto-x ") || !strings.Contains(v, "go1") {
+		t.Fatalf("unexpected version string %q", v)
+	}
+}
+
+func TestSnapshotStringSorted(t *testing.T) {
+	r := telemetry.NewRegistry()
+	r.Counter("z.last").Inc()
+	r.Counter("a.first").Inc()
+	out := r.Snapshot().String()
+	if strings.Index(out, "a.first") > strings.Index(out, "z.last") {
+		t.Fatalf("snapshot listing not sorted:\n%s", out)
+	}
+}

@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// VCSInfo is the build's version-control stamp, read from the Go build
+// info. All fields are "unknown"/false when the binary was built without
+// VCS stamping (e.g. `go run` or a source tree without .git).
+type VCSInfo struct {
+	Revision string `json:"revision"`
+	Time     string `json:"time"`
+	Modified bool   `json:"modified"` // true when the working tree was dirty at build time
+}
+
+// ReadVCSInfo extracts the VCS stamp via runtime/debug.ReadBuildInfo.
+func ReadVCSInfo() VCSInfo {
+	info := VCSInfo{Revision: "unknown", Time: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// VersionString renders the one-line output of a -version flag: tool name,
+// module version, git revision (+dirty marker) and toolchain.
+func VersionString(tool string) string {
+	version := "devel"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		version = bi.Main.Version
+	}
+	vcs := ReadVCSInfo()
+	rev := vcs.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if vcs.Modified {
+		rev += "-dirty"
+	}
+	return fmt.Sprintf("%s %s (rev %s, %s)", tool, version, rev, runtime.Version())
+}
