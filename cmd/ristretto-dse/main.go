@@ -30,7 +30,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max concurrent sweep points (0 = all CPUs, 1 = serial)")
 	tiles := flag.String("tiles", "8,16,32,64", "comma-separated tile counts")
 	mults := flag.String("mults", "8,16,32", "comma-separated multipliers per tile")
-	grans := flag.String("grans", "1,2,3", "comma-separated atom granularities")
+	grans := flag.String("grans", "1,2,3", "comma-separated atom granularities (1-3)")
 	telem := flag.Bool("telemetry", false, "enable telemetry and print the stage-utilization table and counter snapshot")
 	manifestPath := flag.String("manifest", "", "also write a run manifest to this path (implies -telemetry)")
 	version := flag.Bool("version", false, "print version and VCS info, then exit")
@@ -50,6 +50,16 @@ func main() {
 	}
 	if *parallel < 0 {
 		fatal(fmt.Errorf("invalid -parallel %d: must be >= 0 (0 = all CPUs)", *parallel))
+	}
+	for _, g := range ints(*grans) {
+		if g < 1 || g > 3 {
+			fatal(fmt.Errorf("invalid -grans value %d (allowed: 1, 2, 3)", g))
+		}
+	}
+	for _, v := range append(ints(*tiles), ints(*mults)...) {
+		if v < 1 {
+			fatal(fmt.Errorf("invalid -tiles/-mults value %d: must be >= 1", v))
+		}
 	}
 	if err := prof.Start(); err != nil {
 		fatal(err)

@@ -62,7 +62,7 @@ func doGen(netName, layerName, precision string, seed int64, out string) {
 	}
 	bits := map[string]int{"8b": 8, "4b": 4, "2b": 2}[precision]
 	if bits == 0 {
-		fatal(fmt.Errorf("bad precision %q", precision))
+		fatal(fmt.Errorf("invalid -precision %q (allowed: 8b, 4b, 2b)", precision))
 	}
 	g := workload.NewGen(seed)
 	f, k := g.LayerOperands(l, bits, bits, workload.EvalTargets(netName, bits, bits))

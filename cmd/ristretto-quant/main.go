@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"os"
 
 	"ristretto/internal/atom"
 	"ristretto/internal/quant"
@@ -21,7 +22,7 @@ import (
 
 func main() {
 	n := flag.Int("n", 1_000_000, "samples per population")
-	gran := flag.Int("gran", 2, "atom granularity in bits")
+	gran := flag.Int("gran", 2, "atom granularity in bits (1-3)")
 	seed := flag.Int64("seed", 1, "rng seed")
 	pruneW := flag.Float64("prune-w", 0, "additionally prune weights to this density (0 = off)")
 	pruneA := flag.Float64("prune-a", 0, "additionally prune activations to this density (0 = off)")
@@ -31,6 +32,19 @@ func main() {
 	if *version {
 		fmt.Println(telemetry.VersionString("ristretto-quant"))
 		return
+	}
+
+	if *n < 1 {
+		fatal(fmt.Errorf("invalid -n %d: must be >= 1", *n))
+	}
+	if *gran < 1 || *gran > 3 {
+		fatal(fmt.Errorf("invalid -gran %d (allowed: 1, 2, 3)", *gran))
+	}
+	if *pruneW < 0 || *pruneW > 1 {
+		fatal(fmt.Errorf("invalid -prune-w %v: must be in [0, 1]", *pruneW))
+	}
+	if *pruneA < 0 || *pruneA > 1 {
+		fatal(fmt.Errorf("invalid -prune-a %v: must be in [0, 1]", *pruneA))
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -65,4 +79,9 @@ func main() {
 		}
 	}
 	fmt.Println("\npaper Figure 1 anchors (2-bit, unpruned): weight 47.43%, activation 75.25% sparsity")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ristretto-quant:", err)
+	os.Exit(1)
 }

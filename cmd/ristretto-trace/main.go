@@ -49,6 +49,22 @@ func main() {
 		return
 	}
 
+	if *gran < 1 || *gran > 3 {
+		fatal(fmt.Errorf("invalid -gran %d (allowed: 1, 2, 3)", *gran))
+	}
+	if *tiles < 1 {
+		fatal(fmt.Errorf("invalid -tiles %d: must be >= 1", *tiles))
+	}
+	if *mults < 1 {
+		fatal(fmt.Errorf("invalid -mults %d: must be >= 1", *mults))
+	}
+	if *stride < 1 {
+		fatal(fmt.Errorf("invalid -stride %d: must be >= 1", *stride))
+	}
+	if *pad < 0 {
+		fatal(fmt.Errorf("invalid -pad %d: must be >= 0", *pad))
+	}
+
 	var f *tensor.FeatureMap
 	var w *tensor.KernelStack
 	var err error

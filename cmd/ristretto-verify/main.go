@@ -1,0 +1,162 @@
+// Command ristretto-verify runs the differential conformance sweep: every
+// selected engine is cross-checked against the dense reference convolution
+// over a deterministic, seed-derived workload distribution, and failing
+// cases are shrunk to minimal reproducers.
+//
+// Usage:
+//
+//	ristretto-verify [-engines all|csc,snap,...] [-cases 200] [-seed 1]
+//	                 [-shrink] [-workers N] [-q] [-telemetry] [-manifest path]
+//	                 [-cpuprofile f] [-memprofile f] [-trace f] [-pprof addr]
+//
+// The exit status is 0 when every engine conforms on every case and 1
+// otherwise, so the command doubles as a CI gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"ristretto/internal/conformance"
+	"ristretto/internal/runner"
+	"ristretto/internal/telemetry"
+)
+
+func main() {
+	engines := flag.String("engines", "all", "engines to verify: all, or a comma-separated subset of "+strings.Join(conformance.Names(), ", "))
+	cases := flag.Int("cases", 200, "randomized cases per engine")
+	seed := flag.Int64("seed", 1, "case-derivation seed (same seed, same cases)")
+	shrink := flag.Bool("shrink", true, "minimize failing cases to small reproducers")
+	workers := flag.Int("workers", runtime.NumCPU(), "engines verified in parallel (0 = all CPUs)")
+	quiet := flag.Bool("q", false, "print failures only")
+	telem := flag.Bool("telemetry", false, "enable telemetry and print the counter snapshot")
+	manifestPath := flag.String("manifest", "", "also write a run manifest to this path (implies -telemetry)")
+	version := flag.Bool("version", false, "print version and VCS info, then exit")
+	var prof telemetry.Profiler
+	prof.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+
+	if *version {
+		fmt.Println(telemetry.VersionString("ristretto-verify"))
+		return
+	}
+
+	selected, err := selectEngines(*engines)
+	if err != nil {
+		fatal(err)
+	}
+	if *cases < 1 {
+		fatal(fmt.Errorf("invalid -cases %d: must be >= 1", *cases))
+	}
+	if *workers < 0 {
+		fatal(fmt.Errorf("invalid -workers %d: must be >= 0", *workers))
+	}
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "ristretto-verify:", err)
+		}
+	}()
+	if *manifestPath != "" {
+		*telem = true
+	}
+	telemetry.Default.SetEnabled(*telem)
+
+	start := time.Now()
+	pool := runner.New(*workers)
+	reports, err := runner.Map(pool, len(selected), func(i int) (conformance.EngineReport, error) {
+		return conformance.SweepEngine(selected[i], *seed, *cases, *shrink), nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	failures := 0
+	for _, rep := range reports {
+		failures += len(rep.Failures)
+		if *quiet && len(rep.Failures) == 0 {
+			continue
+		}
+		status := "ok"
+		if len(rep.Failures) > 0 {
+			status = fmt.Sprintf("FAIL (%d)", len(rep.Failures))
+		}
+		kind := "numeric"
+		if rep.Analytic {
+			kind = "analytic"
+		}
+		fmt.Printf("%-12s %-8s %4d cases  %s\n", rep.Engine, kind, rep.Cases, status)
+	}
+	for _, rep := range reports {
+		for _, fl := range rep.Failures {
+			fmt.Printf("\n%v\n", &fl.Mismatch)
+			if fl.Shrunk != nil {
+				fmt.Printf("shrunk reproducer:\n%s", fl.Shrunk.Repro())
+			}
+		}
+	}
+	if !*quiet {
+		fmt.Printf("\n%d engines x %d cases in %.2fs: %d failure(s)\n",
+			len(selected), *cases, elapsed.Seconds(), failures)
+	}
+
+	if *telem {
+		snap := telemetry.Default.Snapshot()
+		fmt.Println("\n== Telemetry ==")
+		fmt.Print(snap.String())
+		if *manifestPath != "" {
+			m := telemetry.NewManifest("ristretto-verify")
+			m.Seed = *seed
+			m.Scale = 1
+			m.Workers = pool.Workers()
+			m.WallMillis = float64(elapsed.Nanoseconds()) / 1e6
+			for _, rep := range reports {
+				m.Timings = append(m.Timings, telemetry.ExperimentTiming{
+					IDs:  []string{"conformance/" + rep.Engine},
+					Rows: rep.Cases,
+				})
+			}
+			m.AttachSnapshot(snap)
+			if err := m.Write(*manifestPath); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "ristretto-verify: run manifest written to %s\n", *manifestPath)
+		}
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// selectEngines resolves the -engines flag: "all", or a comma-separated
+// list of registered engine names.
+func selectEngines(spec string) ([]conformance.Engine, error) {
+	if spec == "all" {
+		return conformance.All(), nil
+	}
+	var out []conformance.Engine
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		e, ok := conformance.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("invalid -engines %q (allowed: all, %s)", name, strings.Join(conformance.Names(), ", "))
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("invalid -engines %q: no engines selected", spec)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ristretto-verify:", err)
+	os.Exit(1)
+}

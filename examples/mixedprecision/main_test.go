@@ -1,0 +1,22 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMainRuns executes the example end to end with stdout silenced: the
+// example programs double as smoke tests of the public flow they document,
+// and several of them cross-check against the reference convolution and
+// crash on divergence.
+func TestMainRuns(t *testing.T) {
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	old := os.Stdout
+	os.Stdout = null
+	defer func() { os.Stdout = old }()
+	main()
+}

@@ -1,0 +1,80 @@
+package bitfusion
+
+import (
+	"math"
+
+	"ristretto/internal/atom"
+	"ristretto/internal/tensor"
+)
+
+// SimResult is the outcome of the detailed (tensor-level) Bit Fusion layer
+// simulation.
+type SimResult struct {
+	Output      *tensor.OutputMap
+	Cycles      int64
+	MACs        int64 // whole multiplications performed (dense: every tap)
+	SubProducts int64 // 2-bit sub-multiplications inside fusion units
+}
+
+// SimulateLayer runs a whole (small) layer through the fusion-unit model:
+// every output tap is multiplied — Bit Fusion is dense — but each
+// multiplication is carried out the way a fusion unit does it, as the
+// shift-added sum of 2-bit × 2-bit sub-products over the operands' digit
+// decompositions (sign-magnitude on the weight side). The numeric output is
+// bit-exact against refconv.Conv, and the sub-product count cross-validates
+// SubProducts().
+func SimulateLayer(f *tensor.FeatureMap, w *tensor.KernelStack, stride, pad int, cfg Config) SimResult {
+	oh := tensor.ConvOutSize(f.H, w.KH, stride, pad)
+	ow := tensor.ConvOutSize(f.W, w.KW, stride, pad)
+	res := SimResult{Output: tensor.NewOutputMap(w.K, oh, ow)}
+	for k := 0; k < w.K; k++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var acc int32
+				for c := 0; c < f.C; c++ {
+					for dy := 0; dy < w.KH; dy++ {
+						iy := oy*stride - pad + dy
+						if iy < 0 || iy >= f.H {
+							continue
+						}
+						for dx := 0; dx < w.KW; dx++ {
+							ix := ox*stride - pad + dx
+							if ix < 0 || ix >= f.W {
+								continue
+							}
+							res.MACs++
+							acc += fusionMultiply(f.At(c, iy, ix), f.Bits, w.At(k, c, dy, dx), w.Bits, &res.SubProducts)
+						}
+					}
+				}
+				res.Output.Set(k, oy, ox, acc)
+			}
+		}
+	}
+	mpc := MACsPerCycle(cfg, w.Bits, f.Bits)
+	if mpc <= 0 {
+		mpc = 1
+	}
+	res.Cycles = int64(math.Ceil(float64(res.MACs) / mpc))
+	return res
+}
+
+// fusionMultiply computes a × w as a fusion unit does: both operands are
+// split into dense 2-bit digit streams (the weight in sign-magnitude form)
+// and every digit pair contributes one shifted sub-product.
+func fusionMultiply(a int32, aBits int, wt int32, wBits int, subProducts *int64) int32 {
+	aa := atom.DecomposeDense(a, aBits, 2)
+	ww := atom.DecomposeDense(wt, wBits-1, 2)
+	var p int32
+	for _, ad := range aa {
+		for _, wd := range ww {
+			*subProducts++
+			sp := int32(ad.Mag) * int32(wd.Mag) << (ad.Shift + wd.Shift)
+			if wd.Sign {
+				sp = -sp
+			}
+			p += sp
+		}
+	}
+	return p
+}

@@ -1,0 +1,105 @@
+package laconic
+
+import (
+	"ristretto/internal/atom"
+	"ristretto/internal/tensor"
+)
+
+// SimResult is the outcome of the detailed (tensor-level) Laconic layer
+// simulation.
+type SimResult struct {
+	Output  *tensor.OutputMap
+	Cycles  int64
+	Pairs   int64 // non-zero (activation, weight) operand pairs
+	TermOps int64 // effectual term-pair operations (the bit-serial workload)
+}
+
+// SimulateLayer runs a whole (small) layer through the bit-serial PE model:
+// each non-zero operand pair multiplies as the cross product of the two
+// operands' effectual terms (NAF when cfg.Booth, plain set bits otherwise),
+// each term pair costing one exponent-add cycle on some lane. Zero operands
+// are skipped entirely — Laconic exploits both value- and bit-level
+// sparsity. The numeric output is bit-exact against refconv.Conv, and the
+// term-op count is exactly the Σ PairWork of the non-zero pairs.
+func SimulateLayer(f *tensor.FeatureMap, w *tensor.KernelStack, stride, pad int, cfg Config) SimResult {
+	oh := tensor.ConvOutSize(f.H, w.KH, stride, pad)
+	ow := tensor.ConvOutSize(f.W, w.KW, stride, pad)
+	res := SimResult{Output: tensor.NewOutputMap(w.K, oh, ow)}
+	memo := map[int32][]atom.Term{}
+	termsOf := func(v int32) []atom.Term {
+		if t, ok := memo[v]; ok {
+			return t
+		}
+		t := effectualTerms(v, cfg.Booth)
+		memo[v] = t
+		return t
+	}
+	for k := 0; k < w.K; k++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var acc int32
+				for c := 0; c < f.C; c++ {
+					for dy := 0; dy < w.KH; dy++ {
+						iy := oy*stride - pad + dy
+						if iy < 0 || iy >= f.H {
+							continue
+						}
+						for dx := 0; dx < w.KW; dx++ {
+							ix := ox*stride - pad + dx
+							if ix < 0 || ix >= f.W {
+								continue
+							}
+							a, wt := f.At(c, iy, ix), w.At(k, c, dy, dx)
+							if a == 0 || wt == 0 {
+								continue
+							}
+							res.Pairs++
+							for _, ta := range termsOf(a) {
+								for _, tw := range termsOf(wt) {
+									res.TermOps++
+									sp := int32(1) << (ta.Shift + tw.Shift)
+									if ta.Neg != tw.Neg {
+										sp = -sp
+									}
+									acc += sp
+								}
+							}
+						}
+					}
+				}
+				res.Output.Set(k, oy, ox, acc)
+			}
+		}
+	}
+	// Throughput bound: every lane of every PE retires one term pair per
+	// cycle when fully fed (the analytic model layers the cross-pair load
+	// imbalance on top of this).
+	lanes := int64(cfg.PEs() * cfg.Lanes)
+	if lanes < 1 {
+		lanes = 1
+	}
+	res.Cycles = (res.TermOps + lanes - 1) / lanes
+	return res
+}
+
+// effectualTerms returns the signed power-of-two terms a Laconic front-end
+// feeds the PEs: the NAF recoding with Booth encoding enabled, or one +2^k
+// term per set magnitude bit (sign folded into the terms) without.
+func effectualTerms(v int32, booth bool) []atom.Term {
+	if booth {
+		return atom.NAFTerms(v)
+	}
+	neg := v < 0
+	x := uint32(v)
+	if neg {
+		x = uint32(-v)
+	}
+	var out []atom.Term
+	for shift := uint8(0); x != 0; shift++ {
+		if x&1 != 0 {
+			out = append(out, atom.Term{Shift: shift, Neg: neg})
+		}
+		x >>= 1
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package scnn
+
+import (
+	"testing"
+
+	"ristretto/internal/refconv"
+	"ristretto/internal/workload"
+)
+
+// TestSimulateLayerDegenerateShapes pins the boundary shapes the random
+// conformance sweep only hits probabilistically: all-zero operands, 1×1
+// kernels, a single input channel and the maximum bit-width all must stay
+// bit-exact against the dense reference.
+func TestSimulateLayerDegenerateShapes(t *testing.T) {
+	cases := []struct {
+		name               string
+		c, h, w, k, kh, kw int
+		aBits, wBits       int
+		aDens, wDens       float64
+		stride, pad        int
+	}{
+		{"zero-density-acts", 3, 6, 6, 4, 3, 3, 4, 4, 0, 0.5, 1, 1},
+		{"zero-density-weights", 3, 6, 6, 4, 3, 3, 4, 4, 0.5, 0, 1, 1},
+		{"pointwise-kernel", 3, 5, 5, 4, 1, 1, 4, 4, 0.5, 0.5, 1, 0},
+		{"single-channel", 1, 6, 6, 2, 3, 3, 4, 4, 0.6, 0.6, 1, 1},
+		{"max-bit-width", 2, 5, 5, 3, 3, 3, 8, 8, 0.7, 0.7, 2, 1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			g := workload.NewGen(workload.DeriveSeed(7, "scnn/degenerate", tc.name))
+			f := g.FeatureMapExact(tc.c, tc.h, tc.w, tc.aBits, 2, tc.aDens, 0.8)
+			w := g.KernelsExact(tc.k, tc.c, tc.kh, tc.kw, tc.wBits, 2, tc.wDens, 0.8)
+			res := SimulateLayer(f, w, tc.stride, tc.pad, DefaultConfig())
+			want := refconv.Conv(f, w, tc.stride, tc.pad)
+			if !want.Equal(res.Output) {
+				t.Fatalf("output diverges from refconv (max |Δ| = %d)", want.MaxAbsDiff(res.Output))
+			}
+			// SCNN's outer products touch exactly the non-zero value pairs of
+			// each input channel.
+			var wantProducts int64
+			for c := 0; c < f.C; c++ {
+				nzA := int64(nonZero(f.Channel(c)))
+				var nzW int64
+				for k := 0; k < w.K; k++ {
+					for y := 0; y < w.KH; y++ {
+						for x := 0; x < w.KW; x++ {
+							if w.At(k, c, y, x) != 0 {
+								nzW++
+							}
+						}
+					}
+				}
+				wantProducts += nzA * nzW
+			}
+			if res.Products != wantProducts {
+				t.Errorf("Products = %d, non-zero pairs imply %d", res.Products, wantProducts)
+			}
+		})
+	}
+}
+
+func nonZero(data []int32) int {
+	n := 0
+	for _, v := range data {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,75 @@
+package scnn
+
+import (
+	"ristretto/internal/refconv"
+	"ristretto/internal/tensor"
+)
+
+// SimResult is the outcome of the detailed (tensor-level) SCNN layer
+// simulation.
+type SimResult struct {
+	Output   *tensor.OutputMap
+	Cycles   int64
+	Products int64 // non-zero value-level multiplications
+}
+
+// SimulateLayer runs a whole (small) layer through the PT-IS-CP dataflow:
+// per input channel, the non-zero weight vector (across all filters) outer-
+// products against the non-zero activation vector, and every product
+// scatters into the full-convolution accumulator at the Eq. (1) coordinate
+// — the value-level ancestor of Ristretto's atom-level intersection. Stride
+// is handled in the accumulator (ExtractStrided), exactly as SCNN and
+// Ristretto both do. The numeric output is bit-exact against refconv.Conv,
+// and the cycle count follows OuterProductCycles with the crossbar
+// contention model.
+func SimulateLayer(f *tensor.FeatureMap, w *tensor.KernelStack, stride, pad int, cfg Config) SimResult {
+	if cfg.F < 1 {
+		cfg.F = 1
+	}
+	if cfg.I < 1 {
+		cfg.I = 1
+	}
+	type wEntry struct {
+		val  int32
+		x, y int
+		k    int
+	}
+	type aEntry struct {
+		val  int32
+		x, y int
+	}
+	var res SimResult
+	full := tensor.NewOutputMap(w.K, tensor.FullConvSize(f.H, w.KH), tensor.FullConvSize(f.W, w.KW))
+	cont := ContentionFactor(cfg)
+	for c := 0; c < f.C; c++ {
+		var wts []wEntry
+		for k := 0; k < w.K; k++ {
+			for y := 0; y < w.KH; y++ {
+				for x := 0; x < w.KW; x++ {
+					if v := w.At(k, c, y, x); v != 0 {
+						wts = append(wts, wEntry{val: v, x: x, y: y, k: k})
+					}
+				}
+			}
+		}
+		var acts []aEntry
+		for y := 0; y < f.H; y++ {
+			for x := 0; x < f.W; x++ {
+				if v := f.At(c, y, x); v != 0 {
+					acts = append(acts, aEntry{val: v, x: x, y: y})
+				}
+			}
+		}
+		res.Cycles += OuterProductCycles(len(wts), len(acts), cfg, cont)
+		for _, we := range wts {
+			for _, ae := range acts {
+				res.Products++
+				u := w.KH - 1 - we.y + ae.y
+				v := w.KW - 1 - we.x + ae.x
+				full.Add(we.k, u, v, ae.val*we.val)
+			}
+		}
+	}
+	res.Output = refconv.ExtractStrided(full, f.H, f.W, w.KH, w.KW, stride, pad)
+	return res
+}

@@ -1,0 +1,55 @@
+package snap
+
+import (
+	"testing"
+
+	"ristretto/internal/refconv"
+	"ristretto/internal/workload"
+)
+
+// TestSimulateLayerDegenerateShapes pins the boundary shapes the random
+// conformance sweep only hits probabilistically: all-zero operands, 1×1
+// kernels, a single input channel and the maximum bit-width all must stay
+// bit-exact against the dense reference.
+func TestSimulateLayerDegenerateShapes(t *testing.T) {
+	cases := []struct {
+		name               string
+		c, h, w, k, kh, kw int
+		aBits, wBits       int
+		aDens, wDens       float64
+		stride, pad        int
+	}{
+		{"zero-density-acts", 3, 6, 6, 4, 3, 3, 4, 4, 0, 0.5, 1, 1},
+		{"zero-density-weights", 3, 6, 6, 4, 3, 3, 4, 4, 0.5, 0, 1, 1},
+		{"pointwise-kernel", 3, 5, 5, 4, 1, 1, 4, 4, 0.5, 0.5, 1, 0},
+		{"single-channel", 1, 6, 6, 2, 3, 3, 4, 4, 0.6, 0.6, 1, 1},
+		{"max-bit-width", 2, 5, 5, 3, 3, 3, 8, 8, 0.7, 0.7, 2, 1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			g := workload.NewGen(workload.DeriveSeed(7, "snap/degenerate", tc.name))
+			f := g.FeatureMapExact(tc.c, tc.h, tc.w, tc.aBits, 2, tc.aDens, 0.8)
+			w := g.KernelsExact(tc.k, tc.c, tc.kh, tc.kw, tc.wBits, 2, tc.wDens, 0.8)
+			res := SimulateLayer(f, w, tc.stride, tc.pad, DefaultConfig())
+			want := refconv.Conv(f, w, tc.stride, tc.pad)
+			if !want.Equal(res.Output) {
+				t.Fatalf("output diverges from refconv (max |Δ| = %d)", want.MaxAbsDiff(res.Output))
+			}
+			// The AIM only matches non-zero index pairs, and the reported
+			// latency is the slowest PE.
+			if (tc.aDens == 0 || tc.wDens == 0) && res.Matched != 0 {
+				t.Errorf("zero-density layer reports %d matched pairs", res.Matched)
+			}
+			var maxPE int64
+			for _, c := range res.PECycles {
+				if c > maxPE {
+					maxPE = c
+				}
+			}
+			if res.Cycles != maxPE {
+				t.Errorf("Cycles = %d, slowest PE = %d", res.Cycles, maxPE)
+			}
+		})
+	}
+}

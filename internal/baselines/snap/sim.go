@@ -1,0 +1,98 @@
+package snap
+
+import (
+	"ristretto/internal/tensor"
+)
+
+// SimResult is the outcome of the detailed (tensor-level) SNAP layer
+// simulation.
+type SimResult struct {
+	Output   *tensor.OutputMap
+	Cycles   int64 // slowest PE
+	PECycles []int64
+	Matched  int64 // index-matched non-zero pairs (MAC operations)
+}
+
+// SimulateLayer runs a whole (small) layer through the detailed
+// associative-index-matching model: for every output pixel the C·kh·kw
+// reduction window is gathered into compressed (index, value) vectors on
+// both sides and handed to MatchVectors, SNAP's AIM comparator + MAC row.
+// Output pixels round-robin across PEs and the layer latency is the slowest
+// PE. The numeric output is bit-exact against refconv.Conv.
+func SimulateLayer(f *tensor.FeatureMap, w *tensor.KernelStack, stride, pad int, cfg Config) SimResult {
+	oh := tensor.ConvOutSize(f.H, w.KH, stride, pad)
+	ow := tensor.ConvOutSize(f.W, w.KW, stride, pad)
+	pes := cfg.PEs
+	if pes < 1 {
+		pes = 1
+	}
+	if cfg.AIMWidth < 1 {
+		cfg.AIMWidth = 1
+	}
+	if cfg.MACsPerPE < 1 {
+		cfg.MACsPerPE = 1
+	}
+	res := SimResult{
+		Output:   tensor.NewOutputMap(w.K, oh, ow),
+		PECycles: make([]int64, pes),
+	}
+
+	// Per-filter compressed weight vectors are static: built once, reused
+	// for every output pixel.
+	vecLen := f.C * w.KH * w.KW
+	wIdx := make([][]int32, w.K)
+	wVal := make([][]int32, w.K)
+	for k := 0; k < w.K; k++ {
+		i := int32(0)
+		for c := 0; c < w.C; c++ {
+			for dy := 0; dy < w.KH; dy++ {
+				for dx := 0; dx < w.KW; dx++ {
+					if v := w.At(k, c, dy, dx); v != 0 {
+						wIdx[k] = append(wIdx[k], i)
+						wVal[k] = append(wVal[k], v)
+					}
+					i++
+				}
+			}
+		}
+	}
+
+	aIdx := make([]int32, 0, vecLen)
+	aVal := make([]int32, 0, vecLen)
+	pe := 0
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			// Gather the activation window once per pixel, compressed.
+			aIdx, aVal = aIdx[:0], aVal[:0]
+			i := int32(0)
+			for c := 0; c < f.C; c++ {
+				for dy := 0; dy < w.KH; dy++ {
+					iy := oy*stride - pad + dy
+					for dx := 0; dx < w.KW; dx++ {
+						ix := ox*stride - pad + dx
+						if iy >= 0 && iy < f.H && ix >= 0 && ix < f.W {
+							if v := f.At(c, iy, ix); v != 0 {
+								aIdx = append(aIdx, i)
+								aVal = append(aVal, v)
+							}
+						}
+						i++
+					}
+				}
+			}
+			for k := 0; k < w.K; k++ {
+				dot, matched, cycles := MatchVectors(aIdx, aVal, wIdx[k], wVal[k], cfg)
+				res.Output.Set(k, oy, ox, dot)
+				res.Matched += matched
+				res.PECycles[pe] += cycles
+				pe = (pe + 1) % pes
+			}
+		}
+	}
+	for _, c := range res.PECycles {
+		if c > res.Cycles {
+			res.Cycles = c
+		}
+	}
+	return res
+}

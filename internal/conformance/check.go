@@ -1,0 +1,148 @@
+package conformance
+
+import (
+	"fmt"
+
+	"ristretto/internal/atom"
+	"ristretto/internal/refconv"
+	"ristretto/internal/telemetry"
+	"ristretto/internal/tensor"
+)
+
+// Mismatch describes one conformance failure: which engine diverged, on
+// which case, and why. A panic inside an engine is also a mismatch — the
+// harness recovers it so one crash cannot hide later divergences.
+type Mismatch struct {
+	Engine string
+	Case   Case
+	Reason string
+}
+
+// Error formats the mismatch as a one-line diagnostic.
+func (m *Mismatch) Error() string {
+	c := m.Case
+	return fmt.Sprintf("%s: case %d (seed %d): %s [A %dx%dx%d %db d=%.2f | W %dx%dx%dx%d %db d=%.2f | stride %d pad %d gran %d mults %d]",
+		m.Engine, c.Index, c.Seed, m.Reason,
+		c.C, c.H, c.W, c.ABits, c.ADensity,
+		c.K, c.C, c.KH, c.KW, c.WBits, c.WDensity,
+		c.Stride, c.Pad, c.Gran, c.Mults)
+}
+
+// Check generates the case's tensors and cross-checks the engine against
+// the dense reference. It returns nil when the engine conforms.
+func Check(e Engine, cs Case) *Mismatch {
+	f, w := cs.Operands()
+	return CheckTensors(e, cs, f, w)
+}
+
+// CheckTensors cross-checks the engine on explicit tensors (the shrinker
+// re-enters here with reduced operands). The reference output is
+// refconv.Conv; numeric engines must match it bit-exactly, and engines
+// reporting atom work must satisfy the dataflow invariant.
+func CheckTensors(e Engine, cs Case, f *tensor.FeatureMap, w *tensor.KernelStack) (m *Mismatch) {
+	defer func() {
+		if r := recover(); r != nil {
+			m = &Mismatch{Engine: e.Name, Case: cs, Reason: fmt.Sprintf("panic: %v", r)}
+		}
+	}()
+	ref := refconv.Conv(f, w, cs.Stride, cs.Pad)
+	res := e.Run(cs, f, w)
+	if !e.Analytic {
+		if res.Output == nil {
+			return &Mismatch{Engine: e.Name, Case: cs, Reason: "engine returned no output"}
+		}
+		if !ref.Equal(res.Output) {
+			return &Mismatch{Engine: e.Name, Case: cs,
+				Reason: fmt.Sprintf("output diverges from refconv (max |Δ| = %d)", ref.MaxAbsDiff(res.Output))}
+		}
+	}
+	if res.Cycles < 0 {
+		return &Mismatch{Engine: e.Name, Case: cs, Reason: fmt.Sprintf("negative cycle count %d", res.Cycles)}
+	}
+	if res.AtomMuls >= 0 {
+		if want := AtomMulInvariant(f, w, cs.Gran); res.AtomMuls != want {
+			return &Mismatch{Engine: e.Name, Case: cs,
+				Reason: fmt.Sprintf("atom-work invariant violated: engine reports %d atom muls, tensors imply %d", res.AtomMuls, want)}
+		}
+	}
+	return nil
+}
+
+// AtomMulInvariant computes, directly from the tensors, the number of atom
+// multiplications the sparse CSC dataflow must perform: per input channel,
+// every non-zero activation atom meets every non-zero weight atom exactly
+// once (weights atomized in sign-magnitude form, so magnitudes use
+// WBits-1 bits).
+func AtomMulInvariant(f *tensor.FeatureMap, w *tensor.KernelStack, gran atom.Granularity) int64 {
+	var total int64
+	for c := 0; c < f.C; c++ {
+		t := atom.TotalNonZeroAtoms(f.Channel(c), f.Bits, gran)
+		s := 0
+		for k := 0; k < w.K; k++ {
+			for y := 0; y < w.KH; y++ {
+				for x := 0; x < w.KW; x++ {
+					if v := w.At(k, c, y, x); v != 0 {
+						s += atom.CountNonZero(v, w.Bits-1, gran)
+					}
+				}
+			}
+		}
+		total += int64(t) * int64(s)
+	}
+	return total
+}
+
+// Failure is one sweep failure, optionally with its shrunk reproducer.
+type Failure struct {
+	Mismatch Mismatch
+	Shrunk   *Failing // minimized reproducer, when shrinking was requested
+}
+
+// EngineReport summarizes one engine's sweep.
+type EngineReport struct {
+	Engine   string
+	Analytic bool
+	Cases    int
+	Failures []Failure
+}
+
+// Sweep cross-checks every engine against the reference over n seeded
+// cases. The same (seed, n) always checks the same workloads, in the same
+// order. When shrink is set, each failing case is minimized to a small
+// reproducer before being reported. Telemetry (when enabled) counts cases
+// and failures per engine.
+func Sweep(engines []Engine, seed int64, n int, shrink bool) []EngineReport {
+	reports := make([]EngineReport, 0, len(engines))
+	for _, e := range engines {
+		reports = append(reports, SweepEngine(e, seed, n, shrink))
+	}
+	return reports
+}
+
+// SweepEngine runs one engine over the n-case sweep. It is safe to call
+// concurrently for different engines: case generation is index-derived and
+// engines share no mutable state.
+func SweepEngine(e Engine, seed int64, n int, shrink bool) EngineReport {
+	rep := EngineReport{Engine: e.Name, Analytic: e.Analytic, Cases: n}
+	for i := 0; i < n; i++ {
+		cs := CaseAt(seed, i)
+		m := Check(e, cs)
+		if telemetry.Default.Enabled() {
+			telemetry.Default.Counter("conformance.cases").Add(1)
+		}
+		if m == nil {
+			continue
+		}
+		if telemetry.Default.Enabled() {
+			telemetry.Default.Counter("conformance.failures").Add(1)
+		}
+		fail := Failure{Mismatch: *m}
+		if shrink {
+			f, w := cs.Operands()
+			shrunk := ShrinkFailure(e, cs, f, w)
+			fail.Shrunk = &shrunk
+		}
+		rep.Failures = append(rep.Failures, fail)
+	}
+	return rep
+}

@@ -1,0 +1,150 @@
+// Package conformance is the differential-testing subsystem: every
+// convolution engine in the repository — the CSC functional pipeline, the
+// Ristretto tile and core simulators, the analytic model, and the five
+// baseline accelerator models — is cross-checked against the dense golden
+// reference (internal/refconv) over seeded randomized workloads.
+//
+// The pieces:
+//
+//   - Engine adapters (engines.go) wrap each implementation behind a uniform
+//     oracle interface. Engines that produce numeric outputs are compared
+//     bit-exactly against refconv.Conv; analytic engines are checked against
+//     work-count invariants computed independently from the tensors.
+//   - A seeded case generator (CaseAt) sweeps bit-widths 2–8, mixed
+//     precision, densities 0–100%, atom granularities, multiplier/tile
+//     shapes and degenerate geometries (1×1 kernels, single channels,
+//     single-pixel planes, all-zero tensors).
+//   - A shrinker (shrink.go) minimizes any failing tensor pair to a small
+//     reproducer by cutting channels, filters, rows, columns and individual
+//     non-zero values while the failure persists.
+//   - Native fuzz targets (fuzz_test.go) drive the atomizer, Booth recoder,
+//     intersection kernel, quantizer and whole-conv equivalence from
+//     arbitrary bytes, with seed corpora under testdata/fuzz/.
+//   - Metamorphic invariants (conformance_test.go): zero-padding
+//     invariance, atom-recombination identity, cycle monotonicity under
+//     nested sparsification.
+//
+// The cmd/ristretto-verify binary exposes the sweep on the command line and
+// CI runs it (plus a race-enabled test pass and short fuzz jobs) on every
+// change.
+package conformance
+
+import (
+	"math/rand"
+	"strconv"
+
+	"ristretto/internal/atom"
+	"ristretto/internal/tensor"
+	"ristretto/internal/workload"
+)
+
+// Case is one randomized conformance workload: the convolution geometry,
+// operand precisions and densities, and the engine shape parameters. The
+// operand tensors are derived deterministically from (Seed, Index) — two
+// runs with the same seed check bit-identical workloads.
+type Case struct {
+	Index int   // position in the sweep
+	Seed  int64 // sweep seed the tensors derive from
+
+	C, H, W     int // input channels and spatial size
+	K, KH, KW   int // output channels and kernel size
+	Stride, Pad int
+
+	ABits, WBits int              // activation / weight bit-widths (mixed precision when unequal)
+	Gran         atom.Granularity // atom granularity for CSC engines
+	ADensity     float64          // value-level activation density (0 = all-zero plane)
+	WDensity     float64          // value-level weight density
+	AtomDensity  float64          // atom-level density within non-zero values
+
+	Mults        int // atom multipliers per compute tile (CSC engines)
+	Tiles        int // compute tiles (CSC engines)
+	TileW, TileH int // spatial tile size (0 = whole plane)
+}
+
+// CaseAt deterministically generates the i-th case of the sweep seeded with
+// seed. Each index derives an independent random stream, so cases can be
+// generated (and checked) in any order or in parallel.
+func CaseAt(seed int64, i int) Case {
+	rng := rand.New(rand.NewSource(workload.DeriveSeed(seed, "conformance/case", strconv.Itoa(i))))
+	cs := Case{
+		Index: i,
+		Seed:  seed,
+
+		C: 1 + rng.Intn(6),
+		K: 1 + rng.Intn(8),
+
+		ABits: []int{2, 3, 4, 8}[rng.Intn(4)],
+		WBits: []int{2, 4, 8}[rng.Intn(3)],
+		Gran:  atom.Granularity(1 + rng.Intn(3)),
+
+		ADensity:    sampleDensity(rng),
+		WDensity:    sampleDensity(rng),
+		AtomDensity: 0.3 + 0.7*rng.Float64(),
+
+		Mults:  []int{1, 2, 8, 32}[rng.Intn(4)],
+		Tiles:  []int{1, 2, 4}[rng.Intn(3)],
+		Stride: 1 + rng.Intn(2),
+		Pad:    rng.Intn(3),
+	}
+	cs.KH = []int{1, 2, 3, 5}[rng.Intn(4)]
+	cs.KW = []int{1, 2, 3, 5}[rng.Intn(4)]
+	cs.H = 1 + rng.Intn(10)
+	cs.W = 1 + rng.Intn(10)
+	// Spatial tiling on about half the cases; whole-plane otherwise.
+	if rng.Intn(2) == 0 {
+		cs.TileW = 2 + rng.Intn(5)
+		cs.TileH = 2 + rng.Intn(5)
+	}
+
+	// Degenerate specials, injected on a fixed rotation so every short
+	// sweep still covers them.
+	switch i % 11 {
+	case 1:
+		cs.ADensity = 0 // all-zero activations
+	case 3:
+		cs.WDensity = 0 // all-zero weights
+	case 5:
+		cs.KH, cs.KW = 1, 1 // pointwise kernel
+	case 7:
+		cs.C = 1 // single input channel
+	case 9:
+		cs.H, cs.W = 1, 1 // single-pixel plane
+	case 10:
+		cs.ABits, cs.WBits = 8, 8 // max evaluated bit-width
+	}
+
+	// Keep the output non-empty: grow padding until the (possibly strided)
+	// output has at least one pixel in each dimension.
+	for tensor.ConvOutSize(cs.H, cs.KH, cs.Stride, cs.Pad) < 1 {
+		cs.Pad++
+	}
+	for tensor.ConvOutSize(cs.W, cs.KW, cs.Stride, cs.Pad) < 1 {
+		cs.Pad++
+	}
+	return cs
+}
+
+// sampleDensity draws a value-level density: mostly uniform, with mass at
+// the exact 0%, 100% and very-sparse endpoints.
+func sampleDensity(rng *rand.Rand) float64 {
+	switch rng.Intn(10) {
+	case 0:
+		return 0
+	case 1:
+		return 1
+	case 2:
+		return 0.02
+	default:
+		return rng.Float64()
+	}
+}
+
+// Operands materializes the case's tensors, deterministically from
+// (Seed, Index). Exact-mode generation gives direct control of both value-
+// and atom-level density, including the exact all-zero endpoints.
+func (cs Case) Operands() (*tensor.FeatureMap, *tensor.KernelStack) {
+	g := workload.NewGen(workload.DeriveSeed(cs.Seed, "conformance/operands", strconv.Itoa(cs.Index)))
+	f := g.FeatureMapExact(cs.C, cs.H, cs.W, cs.ABits, cs.Gran, cs.ADensity, cs.AtomDensity)
+	w := g.KernelsExact(cs.K, cs.C, cs.KH, cs.KW, cs.WBits, cs.Gran, cs.WDensity, cs.AtomDensity)
+	return f, w
+}

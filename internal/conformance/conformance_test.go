@@ -1,0 +1,308 @@
+package conformance
+
+import (
+	"reflect"
+	"testing"
+
+	"ristretto/internal/atom"
+	"ristretto/internal/core"
+	"ristretto/internal/refconv"
+	"ristretto/internal/tensor"
+	"ristretto/internal/workload"
+)
+
+// sweepSeed/sweepCases pin the CI acceptance sweep: every registered engine
+// must agree with refconv over at least 200 randomized configurations.
+const (
+	sweepSeed  = 1
+	sweepCases = 200
+)
+
+// TestSweepAllEnginesConform is the headline differential test: all
+// registered engines, 200 seeded cases each, zero tolerance.
+func TestSweepAllEnginesConform(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			for i := 0; i < sweepCases; i++ {
+				if m := Check(e, CaseAt(sweepSeed, i)); m != nil {
+					t.Fatalf("conformance failure: %v", m)
+				}
+			}
+		})
+	}
+}
+
+// TestRegistryComplete guards the oracle surface: the adapter set must
+// cover the Ristretto views and every baseline accelerator.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"analytic", "bitfusion", "core-sim", "csc", "csc-ns",
+		"laconic", "scnn", "snap", "sparten", "sparten-mp", "tile-sim",
+	}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("registered engines = %v, want %v", got, want)
+	}
+}
+
+// TestCaseGenerationDeterministic: the same (seed, index) must yield the
+// same case and bit-identical tensors, in any order.
+func TestCaseGenerationDeterministic(t *testing.T) {
+	for _, i := range []int{0, 7, 63, 199} {
+		a, b := CaseAt(41, i), CaseAt(41, i)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("case %d not deterministic: %+v vs %+v", i, a, b)
+		}
+		fa, wa := a.Operands()
+		fb, wb := b.Operands()
+		if !reflect.DeepEqual(fa, fb) || !reflect.DeepEqual(wa, wb) {
+			t.Fatalf("operands for case %d not deterministic", i)
+		}
+	}
+	if reflect.DeepEqual(CaseAt(41, 0), CaseAt(42, 0)) {
+		t.Fatal("different seeds produced identical cases")
+	}
+}
+
+// TestDegenerateShapes pins the shapes the random sweep only hits
+// probabilistically: every engine must handle them without crashing and
+// with a bit-exact (or invariant-consistent) result.
+func TestDegenerateShapes(t *testing.T) {
+	base := Case{
+		Seed: 9, C: 3, H: 6, W: 6, K: 4, KH: 3, KW: 3,
+		Stride: 1, Pad: 1, ABits: 4, WBits: 4, Gran: 2,
+		ADensity: 0.5, WDensity: 0.5, AtomDensity: 0.8,
+		Mults: 8, Tiles: 2,
+	}
+	mut := []struct {
+		name string
+		mod  func(*Case)
+	}{
+		{"all-zero-acts", func(c *Case) { c.ADensity = 0 }},
+		{"all-zero-weights", func(c *Case) { c.WDensity = 0 }},
+		{"all-zero-both", func(c *Case) { c.ADensity, c.WDensity = 0, 0 }},
+		{"pointwise-kernel", func(c *Case) { c.KH, c.KW = 1, 1; c.Pad = 0 }},
+		{"single-channel", func(c *Case) { c.C = 1 }},
+		{"single-pixel", func(c *Case) { c.H, c.W = 1, 1 }},
+		{"max-bits", func(c *Case) { c.ABits, c.WBits = 8, 8 }},
+		{"min-bits", func(c *Case) { c.ABits, c.WBits = 2, 2 }},
+		{"mixed-precision", func(c *Case) { c.ABits, c.WBits = 8, 2 }},
+		{"single-multiplier", func(c *Case) { c.Mults = 1 }},
+		{"strided", func(c *Case) { c.Stride = 2 }},
+		{"wide-pad", func(c *Case) { c.KH, c.KW, c.Pad = 1, 1, 2 }},
+		{"tiled", func(c *Case) { c.TileW, c.TileH = 2, 3 }},
+	}
+	for idx, m := range mut {
+		m := m
+		cs := base
+		cs.Index = idx
+		m.mod(&cs)
+		t.Run(m.name, func(t *testing.T) {
+			t.Parallel()
+			for _, e := range All() {
+				if mm := Check(e, cs); mm != nil {
+					t.Errorf("%v", mm)
+				}
+			}
+		})
+	}
+}
+
+// TestZeroPaddingInvariance is the first metamorphic invariant: embedding
+// the feature map in an m-wide zero border while shrinking the logical pad
+// by m must not change any engine's output. refconv and the engine are both
+// run on both formulations.
+func TestZeroPaddingInvariance(t *testing.T) {
+	cs := CaseAt(17, 4)
+	cs.Stride = 1
+	cs.Pad = 2
+	f, w := cs.Operands()
+	const m = 2
+	embedded := tensor.NewFeatureMap(f.C, f.H+2*m, f.W+2*m, f.Bits)
+	for c := 0; c < f.C; c++ {
+		for y := 0; y < f.H; y++ {
+			for x := 0; x < f.W; x++ {
+				embedded.Set(c, y+m, x+m, f.At(c, y, x))
+			}
+		}
+	}
+	csEmb := cs
+	csEmb.Pad = cs.Pad - m
+	if refW := refconv.Conv(f, w, cs.Stride, cs.Pad); !refW.Equal(refconv.Conv(embedded, w, csEmb.Stride, csEmb.Pad)) {
+		t.Fatal("reference convolution itself is not padding-invariant")
+	}
+	for _, e := range All() {
+		if e.Analytic {
+			continue
+		}
+		r1 := e.Run(cs, f, w)
+		r2 := e.Run(csEmb, embedded, w)
+		if !r1.Output.Equal(r2.Output) {
+			t.Errorf("%s: output changed under zero-border embedding (max |Δ| = %d)",
+				e.Name, r1.Output.MaxAbsDiff(r2.Output))
+		}
+	}
+}
+
+// TestAtomRecombinationIdentity is the second metamorphic invariant: for
+// every representable operand pair, the sum of atom partial products equals
+// the full-precision product — decomposition loses nothing.
+func TestAtomRecombinationIdentity(t *testing.T) {
+	for _, gran := range []atom.Granularity{1, 2, 3} {
+		for _, aBits := range []int{2, 3, 4, 8} {
+			for _, wBits := range []int{2, 4, 8} {
+				amax := int32(1)<<aBits - 1
+				wmax := int32(1)<<(wBits-1) - 1
+				for _, a := range []int32{0, 1, amax / 2, amax} {
+					for _, wv := range []int32{-wmax, -1, 0, 1, wmax} {
+						// Reconstruct is the inverse of Decompose…
+						if got := atom.Reconstruct(atom.Decompose(a, aBits, gran)); got != a {
+							t.Fatalf("gran %d: Reconstruct(Decompose(%d)) = %d", gran, a, got)
+						}
+						// …and the streamed multiply recombines to the
+						// full-precision product.
+						prod, _ := core.MultiplyStreaming(a, aBits, wv, wBits, gran)
+						if prod != a*wv {
+							t.Fatalf("gran %d bits %d/%d: MultiplyStreaming(%d, %d) = %d, want %d",
+								gran, aBits, wBits, a, wv, prod, a*wv)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCycleMonotonicityInDensity is the third metamorphic invariant:
+// zeroing values out of a fixed tensor pair (nested masks, so the atom
+// streams only ever shrink) must not increase CSC latency beyond the
+// per-round pipeline-drain slack.
+func TestCycleMonotonicityInDensity(t *testing.T) {
+	g := workload.NewGen(workload.DeriveSeed(5, "monotonicity"))
+	f := g.FeatureMapExact(6, 16, 16, 8, 2, 0.9, 0.8)
+	w := g.KernelsExact(8, 6, 3, 3, 8, 2, 0.9, 0.8)
+	cfg := core.Config{Gran: 2, Multiplier: 8}
+	prev := int64(1 << 62)
+	for _, keep := range []float64{1.0, 0.6, 0.3, 0.1, 0.0} {
+		// Nested masking: each step zeroes a suffix of the non-zero
+		// positions, so every stream is a subset of the previous one.
+		masked := f.Clone()
+		maskedW := w.Clone()
+		for _, d := range [][]int32{masked.Data, maskedW.Data} {
+			idx := nonZeroIndices(d)
+			for _, i := range idx[int(float64(len(idx))*keep):] {
+				d[i] = 0
+			}
+		}
+		_, st := core.Convolve(masked, maskedW, 1, 1, cfg)
+		// Slack: each (channel, round) boundary can add up to N-1 drain
+		// steps, so allow a small constant on top of strict monotonicity.
+		slack := int64(8 * f.C * (st.Rounds + 1))
+		if int64(st.Steps) > prev+slack {
+			t.Fatalf("keep=%.1f: steps %d exceed previous density's %d (+slack %d)", keep, st.Steps, prev, slack)
+		}
+		prev = int64(st.Steps)
+	}
+}
+
+// buggyAtomizerEngine is the deliberately broken engine of the shrink
+// demonstration: a CSC-style convolution whose atomizer drops activation
+// atoms with magnitude 3 in the second slice (value bits [3:2] == 11) —
+// exactly the kind of single-digit encoder bug the harness exists to catch.
+func buggyAtomizerEngine() Engine {
+	return Engine{
+		Name: "csc-buggy",
+		Run: func(cs Case, f *tensor.FeatureMap, w *tensor.KernelStack) Result {
+			oh := tensor.ConvOutSize(f.H, w.KH, cs.Stride, cs.Pad)
+			ow := tensor.ConvOutSize(f.W, w.KW, cs.Stride, cs.Pad)
+			out := tensor.NewOutputMap(w.K, oh, ow)
+			for k := 0; k < w.K; k++ {
+				for oy := 0; oy < oh; oy++ {
+					for ox := 0; ox < ow; ox++ {
+						var acc int32
+						for c := 0; c < f.C; c++ {
+							for dy := 0; dy < w.KH; dy++ {
+								iy := oy*cs.Stride - cs.Pad + dy
+								if iy < 0 || iy >= f.H {
+									continue
+								}
+								for dx := 0; dx < w.KW; dx++ {
+									ix := ox*cs.Stride - cs.Pad + dx
+									if ix < 0 || ix >= f.W {
+										continue
+									}
+									for _, aa := range atom.Decompose(f.At(c, iy, ix), f.Bits, cs.Gran) {
+										if aa.Mag == 3 && aa.Shift == 2 {
+											continue // the injected bug
+										}
+										acc += aa.Term() * w.At(k, c, dy, dx)
+									}
+								}
+							}
+						}
+						out.Set(k, oy, ox, acc)
+					}
+				}
+			}
+			return Result{Output: out, AtomMuls: -1}
+		},
+	}
+}
+
+// TestInjectedBugCaughtAndShrunk is the acceptance demonstration: the sweep
+// catches the injected atomizer bug and the shrinker reduces the failing
+// tensors to a reproducer no larger than 4×4 with a single non-zero value
+// on each side.
+func TestInjectedBugCaughtAndShrunk(t *testing.T) {
+	buggy := buggyAtomizerEngine()
+	rep := SweepEngine(buggy, sweepSeed, sweepCases, true)
+	if len(rep.Failures) == 0 {
+		t.Fatal("sweep failed to catch the injected atomizer bug")
+	}
+	fail := rep.Failures[0]
+	if fail.Shrunk == nil {
+		t.Fatal("no shrunk reproducer attached")
+	}
+	s := *fail.Shrunk
+	t.Logf("shrunk reproducer:\n%s", s.Repro())
+	if s.F.C != 1 || s.W.K != 1 {
+		t.Errorf("reproducer not single-channel/single-filter: C=%d K=%d", s.F.C, s.W.K)
+	}
+	if s.F.H > 4 || s.F.W > 4 || s.W.KH > 4 || s.W.KW > 4 {
+		t.Errorf("reproducer larger than 4×4: A %dx%d, W %dx%d", s.F.H, s.F.W, s.W.KH, s.W.KW)
+	}
+	if nz := s.F.NonZero(); nz > 1 {
+		t.Errorf("reproducer keeps %d non-zero activations, want 1", nz)
+	}
+	if nz := s.W.NonZero(); nz > 1 {
+		t.Errorf("reproducer keeps %d non-zero weights, want 1", nz)
+	}
+	// The shrunk tensors must still fail — that is what makes them a
+	// reproducer.
+	cs := fail.Mismatch.Case
+	cs.Stride, cs.Pad = s.Stride, s.Pad
+	if CheckTensors(buggy, cs, s.F, s.W) == nil {
+		t.Error("shrunk reproducer no longer fails")
+	}
+	// And the genuine engine passes on it.
+	if csc, ok := ByName("csc"); !ok {
+		t.Fatal("csc engine missing")
+	} else if m := CheckTensors(csc, cs, s.F, s.W); m != nil {
+		t.Errorf("real csc engine fails the reproducer: %v", m)
+	}
+}
+
+// TestSweepDeterministic: two sweeps from the same seed must produce
+// byte-identical reports.
+func TestSweepDeterministic(t *testing.T) {
+	e, ok := ByName("csc")
+	if !ok {
+		t.Fatal("csc engine missing")
+	}
+	a := SweepEngine(e, 23, 50, false)
+	b := SweepEngine(e, 23, 50, false)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("sweep reports differ across identical runs")
+	}
+}

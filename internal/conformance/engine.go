@@ -1,0 +1,77 @@
+package conformance
+
+import (
+	"fmt"
+	"sort"
+
+	"ristretto/internal/tensor"
+)
+
+// Result is what an engine reports for one case.
+type Result struct {
+	// Output is the computed convolution, compared bit-exactly against the
+	// reference. Nil only for analytic engines.
+	Output *tensor.OutputMap
+	// Cycles is the engine's latency estimate; it must be non-negative.
+	Cycles int64
+	// AtomMuls is the number of atom multiplications the engine performed,
+	// checked against the dataflow invariant (every non-zero activation
+	// atom of a channel meets every non-zero weight atom of that channel
+	// exactly once). Engines that do not track atom work report -1.
+	AtomMuls int64
+}
+
+// Engine adapts one convolution implementation to the differential harness.
+// Run must take the convolution geometry (stride, pad) and the engine shape
+// (granularity, multipliers, tiles) from the case, but operand shapes and
+// bit-widths from the tensors themselves — the shrinker re-runs engines on
+// progressively smaller tensors under the same case.
+type Engine struct {
+	Name     string
+	Analytic bool // reports cycles/work only; Output stays nil
+	Run      func(cs Case, f *tensor.FeatureMap, w *tensor.KernelStack) Result
+}
+
+var registry = map[string]Engine{}
+
+// Register adds an engine to the global registry. It panics on an empty
+// name, a nil Run, or a duplicate registration — adapters are wired once,
+// at init time.
+func Register(e Engine) {
+	if e.Name == "" {
+		panic("conformance: engine with empty name")
+	}
+	if e.Run == nil {
+		panic(fmt.Sprintf("conformance: engine %q has no Run function", e.Name))
+	}
+	if _, dup := registry[e.Name]; dup {
+		panic(fmt.Sprintf("conformance: duplicate engine %q", e.Name))
+	}
+	registry[e.Name] = e
+}
+
+// Names returns the sorted names of all registered engines.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName looks up a registered engine.
+func ByName(name string) (Engine, bool) {
+	e, ok := registry[name]
+	return e, ok
+}
+
+// All returns every registered engine, sorted by name.
+func All() []Engine {
+	names := Names()
+	out := make([]Engine, 0, len(names))
+	for _, n := range names {
+		out = append(out, registry[n])
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package conformance
+
+import (
+	"fmt"
+
+	"ristretto/internal/balance"
+	"ristretto/internal/baselines/bitfusion"
+	"ristretto/internal/baselines/laconic"
+	"ristretto/internal/baselines/scnn"
+	"ristretto/internal/baselines/snap"
+	"ristretto/internal/baselines/sparten"
+	"ristretto/internal/core"
+	"ristretto/internal/model"
+	"ristretto/internal/ristretto"
+	"ristretto/internal/tensor"
+	"ristretto/internal/workload"
+)
+
+// The built-in adapter set: the four Ristretto-side views of the dataflow
+// and the five baseline accelerator models (plus their variants). Every
+// adapter routes the numerics through that engine's own arithmetic
+// primitive, so agreement with refconv is evidence about the dataflow, not
+// about a shared multiply routine.
+func init() {
+	Register(Engine{Name: "csc", Run: runCSC(false)})
+	Register(Engine{Name: "csc-ns", Run: runCSC(true)})
+	Register(Engine{Name: "tile-sim", Run: runTileSim})
+	Register(Engine{Name: "core-sim", Run: runCoreSim})
+	Register(Engine{Name: "analytic", Analytic: true, Run: runAnalytic})
+	Register(Engine{Name: "bitfusion", Run: runBitfusion})
+	Register(Engine{Name: "laconic", Run: runLaconic})
+	Register(Engine{Name: "scnn", Run: runSCNN})
+	Register(Engine{Name: "snap", Run: runSnap})
+	Register(Engine{Name: "sparten", Run: runSparten(false)})
+	Register(Engine{Name: "sparten-mp", Run: runSparten(true)})
+}
+
+// runCSC adapts the functional condensed-streaming pipeline; dense selects
+// the Ristretto-ns (sparsity-disabled) configuration, whose atom-work
+// counts intentionally differ from the sparse invariant.
+func runCSC(dense bool) func(Case, *tensor.FeatureMap, *tensor.KernelStack) Result {
+	return func(cs Case, f *tensor.FeatureMap, w *tensor.KernelStack) Result {
+		out, st := core.Convolve(f, w, cs.Stride, cs.Pad, core.Config{
+			Gran:       cs.Gran,
+			Multiplier: cs.Mults,
+			TileW:      cs.TileW,
+			TileH:      cs.TileH,
+			Dense:      dense,
+		})
+		muls := int64(st.Products)
+		if dense {
+			muls = -1
+		}
+		return Result{Output: out, Cycles: int64(st.Steps), AtomMuls: muls}
+	}
+}
+
+func runTileSim(cs Case, f *tensor.FeatureMap, w *tensor.KernelStack) Result {
+	r := ristretto.SimulateConv(f, w, cs.Stride, cs.Pad, ristretto.Config{
+		Tiles:  cs.Tiles,
+		Tile:   ristretto.TileConfig{Mults: cs.Mults, Gran: cs.Gran},
+		TileW:  cs.TileW,
+		TileH:  cs.TileH,
+		Policy: balance.WeightAct,
+	})
+	return Result{Output: r.Output, Cycles: r.Cycles, AtomMuls: r.Counters.AtomMuls}
+}
+
+func runCoreSim(cs Case, f *tensor.FeatureMap, w *tensor.KernelStack) Result {
+	r := ristretto.SimulateCore(f, w, cs.Stride, cs.Pad, ristretto.CoreSimConfig{
+		Tiles:  cs.Tiles,
+		Tile:   ristretto.TileConfig{Mults: cs.Mults, Gran: cs.Gran},
+		TileW:  cs.TileW,
+		TileH:  cs.TileH,
+		Policy: balance.WeightAct,
+	})
+	return Result{Output: r.Output, Cycles: r.Cycles, AtomMuls: r.Counters.AtomMuls}
+}
+
+// runAnalytic adapts the closed-form performance model. It has no numeric
+// output; its conformance check is the atom-work invariant (exact at
+// stride 1) plus cycle sanity.
+func runAnalytic(cs Case, f *tensor.FeatureMap, w *tensor.KernelStack) Result {
+	l := model.Layer{
+		Name: fmt.Sprintf("conf-%d", cs.Index),
+		C:    f.C, H: f.H, W: f.W,
+		K: w.K, KH: w.KH, KW: w.KW,
+		Stride: cs.Stride, Pad: cs.Pad,
+	}
+	st := workload.StatsFromTensors(l, f, w, cs.Gran, true)
+	p := ristretto.EstimateLayer(st, ristretto.Config{
+		Tiles:  cs.Tiles,
+		Tile:   ristretto.TileConfig{Mults: cs.Mults, Gran: cs.Gran},
+		Policy: balance.WeightAct,
+	})
+	muls := p.Counters.AtomMuls
+	if cs.Stride > 1 {
+		// The stride-phase decomposition rounds per-phase stream lengths;
+		// the invariant is only exact at stride 1.
+		muls = -1
+	}
+	return Result{Cycles: p.Cycles, AtomMuls: muls}
+}
+
+func runBitfusion(cs Case, f *tensor.FeatureMap, w *tensor.KernelStack) Result {
+	r := bitfusion.SimulateLayer(f, w, cs.Stride, cs.Pad, bitfusion.DefaultConfig())
+	return Result{Output: r.Output, Cycles: r.Cycles, AtomMuls: -1}
+}
+
+func runLaconic(cs Case, f *tensor.FeatureMap, w *tensor.KernelStack) Result {
+	r := laconic.SimulateLayer(f, w, cs.Stride, cs.Pad, laconic.DefaultConfig())
+	return Result{Output: r.Output, Cycles: r.Cycles, AtomMuls: -1}
+}
+
+func runSCNN(cs Case, f *tensor.FeatureMap, w *tensor.KernelStack) Result {
+	r := scnn.SimulateLayer(f, w, cs.Stride, cs.Pad, scnn.DefaultConfig())
+	return Result{Output: r.Output, Cycles: r.Cycles, AtomMuls: -1}
+}
+
+func runSnap(cs Case, f *tensor.FeatureMap, w *tensor.KernelStack) Result {
+	r := snap.SimulateLayer(f, w, cs.Stride, cs.Pad, snap.DefaultConfig())
+	return Result{Output: r.Output, Cycles: r.Cycles, AtomMuls: -1}
+}
+
+func runSparten(mp bool) func(Case, *tensor.FeatureMap, *tensor.KernelStack) Result {
+	return func(cs Case, f *tensor.FeatureMap, w *tensor.KernelStack) Result {
+		cfg := sparten.DefaultConfig()
+		cfg.MP = mp
+		r := sparten.SimulateLayer(f, w, cs.Stride, cs.Pad, cfg)
+		return Result{Output: r.Output, Cycles: r.Cycles, AtomMuls: -1}
+	}
+}

@@ -1,0 +1,253 @@
+package conformance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ristretto/internal/atom"
+	"ristretto/internal/core"
+	"ristretto/internal/quant"
+	"ristretto/internal/refconv"
+	"ristretto/internal/tensor"
+)
+
+// The fuzz targets below are the adversarial half of the conformance
+// harness: `go test` replays their seed corpora (testdata/fuzz/ plus the
+// f.Add calls) on every run, and `go test -fuzz` explores beyond them. Raw
+// fuzz inputs are clamped into each API's documented domain — the targets
+// probe behaviour inside the contract, not argument validation.
+
+func clampPos(v, lo, span int32) int {
+	if v < 0 {
+		v = -v
+	}
+	if v < 0 { // MinInt32
+		v = 0
+	}
+	return int(lo + v%span)
+}
+
+// FuzzAtomize checks the decomposition round-trip for arbitrary values,
+// bit-widths and granularities: atoms reconstruct the value exactly, the
+// sparse atom count matches CountNonZero, dense mode always emits
+// ceil(bits/N) atoms, and stream metadata (shift alignment, Last flag) is
+// well-formed.
+func FuzzAtomize(f *testing.F) {
+	f.Add(int32(0), int32(8), int32(2))
+	f.Add(int32(173), int32(8), int32(2))
+	f.Add(int32(-5), int32(4), int32(1))
+	f.Add(int32(65535), int32(16), int32(3))
+	f.Add(int32(-32768), int32(16), int32(4))
+	f.Fuzz(func(t *testing.T, raw, bitsRaw, granRaw int32) {
+		bits := clampPos(bitsRaw, 1, 16)
+		gran := atom.Granularity(clampPos(granRaw, 1, 4))
+		mag := int32(uint32(raw) % (uint32(1) << bits))
+		for _, v := range []int32{mag, -mag} {
+			sparse := atom.Decompose(v, bits, gran)
+			if got := atom.Reconstruct(sparse); got != v {
+				t.Fatalf("Reconstruct(Decompose(%d, %d, %d)) = %d", v, bits, gran, got)
+			}
+			if len(sparse) != atom.CountNonZero(v, bits, gran) {
+				t.Fatalf("sparse atom count %d != CountNonZero %d for %d", len(sparse), atom.CountNonZero(v, bits, gran), v)
+			}
+			dense := atom.DecomposeDense(v, bits, gran)
+			if got := atom.Reconstruct(dense); got != v {
+				t.Fatalf("dense reconstruction of %d = %d", v, got)
+			}
+			if len(dense) != gran.Count(bits) {
+				t.Fatalf("dense decomposition of %d has %d atoms, want %d", v, len(dense), gran.Count(bits))
+			}
+			prevShift := -1
+			for i, a := range sparse {
+				if a.Mag == 0 {
+					t.Fatalf("sparse stream of %d contains a zero atom", v)
+				}
+				if int(a.Shift)%int(gran) != 0 || int(a.Shift) <= prevShift {
+					t.Fatalf("sparse stream of %d has misaligned/unordered shift %d", v, a.Shift)
+				}
+				prevShift = int(a.Shift)
+				if (i == len(sparse)-1) != a.Last {
+					t.Fatalf("Last flag misplaced in stream of %d: %v", v, sparse)
+				}
+			}
+		}
+	})
+}
+
+// FuzzBooth checks the NAF recoding: terms reconstruct the value, the term
+// count matches, digits are non-adjacent (the defining NAF property), and
+// the recoding never uses more terms than the plain binary encoding it is
+// meant to improve on.
+func FuzzBooth(f *testing.F) {
+	f.Add(int32(0))
+	f.Add(int32(7))
+	f.Add(int32(-127))
+	f.Add(int32(1) << 30)
+	f.Add(int32(math.MinInt32))
+	f.Fuzz(func(t *testing.T, v int32) {
+		terms := atom.NAFTerms(v)
+		if got := atom.TermValue(terms); got != v {
+			t.Fatalf("TermValue(NAFTerms(%d)) = %d", v, got)
+		}
+		if len(terms) != atom.TermCount(v) {
+			t.Fatalf("len(NAFTerms(%d)) = %d, TermCount = %d", v, len(terms), atom.TermCount(v))
+		}
+		for i := 1; i < len(terms); i++ {
+			if int(terms[i].Shift)-int(terms[i-1].Shift) < 2 {
+				t.Fatalf("NAF of %d has adjacent non-zero digits: %v", v, terms)
+			}
+		}
+		if tc, oc := atom.TermCount(v), atom.OneCount(v); tc > oc {
+			t.Fatalf("NAF of %d uses %d terms, plain binary only %d", v, tc, oc)
+		}
+	})
+}
+
+// FuzzQuantize checks the quantizer contracts: signed output magnitudes fit
+// bits-1 bits (the sign-magnitude atomization precondition), unsigned
+// output stays in [0, 1<<bits), and magnitude pruning reaches the requested
+// density.
+func FuzzQuantize(f *testing.F) {
+	f.Add(int64(1), int32(4), 2.5, 0.5)
+	f.Add(int64(99), int32(2), 1.28, 0.0)
+	f.Add(int64(7), int32(8), 4.0, 1.0)
+	f.Fuzz(func(t *testing.T, seed int64, bitsRaw int32, clip, density float64) {
+		bits := clampPos(bitsRaw, 2, 7)
+		if math.IsNaN(clip) || math.IsInf(clip, 0) || clip < 0.1 || clip > 16 {
+			clip = quant.DefaultWeightClip(bits)
+		}
+		if math.IsNaN(density) || density < 0 {
+			density = 0
+		}
+		if density > 1 {
+			density = 1
+		}
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, 64)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		cfg := quant.Config{Bits: bits, ClipSigma: clip}
+		qs := quant.QuantizeSigned(x, 1, cfg)
+		lim := int32(1) << (bits - 1)
+		for _, v := range qs {
+			if v <= -lim || v >= lim {
+				t.Fatalf("signed code %d out of (-%d, %d) at %d bits", v, lim, lim, bits)
+			}
+			if got := atom.Reconstruct(atom.Decompose(v, bits-1, 2)); got != v {
+				t.Fatalf("quantized weight %d does not survive atomization", v)
+			}
+		}
+		qu := quant.QuantizeUnsigned(x, 1, cfg)
+		for _, v := range qu {
+			if v < 0 || v >= 1<<bits {
+				t.Fatalf("unsigned code %d out of [0, %d) at %d bits", v, 1<<bits, bits)
+			}
+		}
+		quant.PruneToDensity(qs, density)
+		if nz, budget := nonZeroCount(qs), int(math.Ceil(density*float64(len(qs)))); nz > budget {
+			t.Fatalf("pruning to %.3f left %d non-zeros, budget %d", density, nz, budget)
+		}
+	})
+}
+
+// tensorsFromBytes deterministically fills a feature map and kernel stack of
+// the given shape from a fuzz byte stream (values wrap into each tensor's
+// legal range; an empty stream yields all zeros).
+func tensorsFromBytes(data []byte, c, h, w, k, kh, kw, aBits, wBits int) (*tensor.FeatureMap, *tensor.KernelStack) {
+	next := func(i int) int32 {
+		if len(data) == 0 {
+			return 0
+		}
+		return int32(data[i%len(data)])
+	}
+	f := tensor.NewFeatureMap(c, h, w, aBits)
+	for i := range f.Data {
+		f.Data[i] = next(i) % (1 << aBits)
+	}
+	ws := tensor.NewKernelStack(k, c, kh, kw, wBits)
+	for i := range ws.Data {
+		v := next(i+len(f.Data)) % (1 << (wBits - 1))
+		if next(i+len(f.Data)+1)&1 == 1 {
+			v = -v
+		}
+		ws.Data[i] = v
+	}
+	return f, ws
+}
+
+// FuzzIntersect drives the flatten→compress→intersect pipeline (including
+// tiling and multiplier rounds) on byte-derived tensors and demands
+// bit-exact agreement with the dense reference plus the atom-work
+// invariant.
+func FuzzIntersect(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, int32(2), int32(8), int32(0))
+	f.Add([]byte{0, 0, 0}, int32(1), int32(1), int32(2))
+	f.Add([]byte{255, 128, 64, 32}, int32(3), int32(32), int32(3))
+	f.Fuzz(func(t *testing.T, data []byte, granRaw, multRaw, tileRaw int32) {
+		gran := atom.Granularity(clampPos(granRaw, 1, 4))
+		mult := clampPos(multRaw, 1, 32)
+		tile := clampPos(tileRaw, 0, 5) // 0 = untiled
+		h, w := 1+len(data)%7, 1+(len(data)/2)%7
+		kh, kw := 1+len(data)%3, 1+len(data)%2
+		if kh > h {
+			kh = h
+		}
+		if kw > w {
+			kw = w
+		}
+		fm, ks := tensorsFromBytes(data, 2, h, w, 3, kh, kw, 4, 4)
+		cfg := core.Config{Gran: gran, Multiplier: mult, TileW: tile, TileH: tile}
+		got, st := core.Convolve(fm, ks, 1, 0, cfg)
+		want := refconv.Conv(fm, ks, 1, 0)
+		if !want.Equal(got) {
+			t.Fatalf("CSC output diverges from reference (max |Δ| = %d)", want.MaxAbsDiff(got))
+		}
+		if inv := AtomMulInvariant(fm, ks, gran); int64(st.Products) != inv {
+			t.Fatalf("intersection performed %d atom muls, invariant says %d", st.Products, inv)
+		}
+	})
+}
+
+// FuzzConvEquivalence is the differential fuzz target: byte-derived
+// operands with fuzz-chosen geometry run through every registered engine
+// and must conform. This is the same predicate as the sweep, but with the
+// fuzzer rather than the workload generator choosing the inputs.
+func FuzzConvEquivalence(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, int64(0x0102030201020302))
+	f.Add([]byte{}, int64(0))
+	f.Add([]byte{255, 255, 0, 0, 17}, int64(0x7fffffffffffffff))
+	f.Fuzz(func(t *testing.T, data []byte, geo int64) {
+		take := func(span int64) int {
+			v := geo % span
+			if v < 0 {
+				v = -v
+			}
+			geo /= span
+			return int(v)
+		}
+		cs := Case{
+			Seed: -1, C: 1 + take(3), K: 1 + take(3),
+			H: 1 + take(6), W: 1 + take(6),
+			KH: 1 + take(3), KW: 1 + take(3),
+			Stride: 1 + take(2), Pad: take(3),
+			ABits: []int{2, 3, 4, 8}[take(4)], WBits: []int{2, 4, 8}[take(3)],
+			Gran:  atom.Granularity(1 + take(3)),
+			Mults: 1 + take(16), Tiles: 1 + take(3),
+		}
+		if take(2) == 1 {
+			cs.TileW, cs.TileH = 2+take(4), 2+take(4)
+		}
+		for tensor.ConvOutSize(cs.H, cs.KH, cs.Stride, cs.Pad) < 1 ||
+			tensor.ConvOutSize(cs.W, cs.KW, cs.Stride, cs.Pad) < 1 {
+			cs.Pad++
+		}
+		fm, ks := tensorsFromBytes(data, cs.C, cs.H, cs.W, cs.K, cs.KH, cs.KW, cs.ABits, cs.WBits)
+		for _, e := range All() {
+			if m := CheckTensors(e, cs, fm, ks); m != nil {
+				t.Fatalf("%v", m)
+			}
+		}
+	})
+}

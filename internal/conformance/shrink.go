@@ -1,0 +1,331 @@
+package conformance
+
+import (
+	"fmt"
+	"strings"
+
+	"ristretto/internal/tensor"
+)
+
+// Failing is a concrete failing input: the tensor pair plus the convolution
+// geometry it fails under. The shrinker transforms one Failing into a
+// smaller one while the failure predicate stays true.
+type Failing struct {
+	F           *tensor.FeatureMap
+	W           *tensor.KernelStack
+	Stride, Pad int
+}
+
+// valid reports whether the geometry still defines a non-empty convolution.
+func (fl Failing) valid() bool {
+	return fl.F.C == fl.W.C &&
+		tensor.ConvOutSize(fl.F.H, fl.W.KH, fl.Stride, fl.Pad) >= 1 &&
+		tensor.ConvOutSize(fl.F.W, fl.W.KW, fl.Stride, fl.Pad) >= 1
+}
+
+// ShrinkFailure minimizes a failing case for one engine: the predicate is
+// "the engine still disagrees with refconv (or panics) on these tensors".
+// Geometry parameters other than stride/pad are taken from the (shrinking)
+// tensors themselves, so the case's shape fields are ignored by Run.
+func ShrinkFailure(e Engine, cs Case, f *tensor.FeatureMap, w *tensor.KernelStack) Failing {
+	fails := func(cand Failing) bool {
+		cs2 := cs
+		cs2.Stride, cs2.Pad = cand.Stride, cand.Pad
+		return CheckTensors(e, cs2, cand.F, cand.W) != nil
+	}
+	return ShrinkWith(Failing{F: f.Clone(), W: w.Clone(), Stride: cs.Stride, Pad: cs.Pad}, fails)
+}
+
+// ShrinkWith greedily minimizes cur while fails(cur) stays true, iterating
+// shrink passes to a fixpoint: simplify geometry (stride, pad), halve
+// channels, filters, rows, columns and kernel extents, then delta-debug
+// individual non-zero values away and reduce surviving magnitudes. The
+// result is the smallest reproducer the pass set can reach — typically a
+// single-channel, single-filter, few-pixel tensor pair.
+func ShrinkWith(cur Failing, fails func(Failing) bool) Failing {
+	try := func(cand Failing) bool {
+		if !cand.valid() || !fails(cand) {
+			return false
+		}
+		cur = cand
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		// Geometry: a stride-1, pad-0 reproducer is the easiest to reason
+		// about, so try simplifying those first.
+		if cur.Stride > 1 {
+			cand := cur
+			cand.Stride = 1
+			changed = try(cand) || changed
+		}
+		for cur.Pad > 0 {
+			cand := cur
+			cand.Pad--
+			if !try(cand) {
+				break
+			}
+			changed = true
+		}
+		changed = shrinkChannels(&cur, try) || changed
+		changed = shrinkFilters(&cur, try) || changed
+		changed = shrinkSpatial(&cur, try) || changed
+		changed = shrinkKernel(&cur, try) || changed
+		changed = shrinkValues(&cur, try) || changed
+	}
+	return cur
+}
+
+// shrinkChannels tries keeping only the first or second half of the input
+// channels (both tensors shrink together).
+func shrinkChannels(cur *Failing, try func(Failing) bool) bool {
+	changed := false
+	for cur.F.C > 1 {
+		c := cur.F.C
+		half := c / 2
+		if try(sliceChannels(*cur, 0, half)) || try(sliceChannels(*cur, half, c)) {
+			changed = true
+			continue
+		}
+		break
+	}
+	return changed
+}
+
+// shrinkFilters tries keeping only the first or second half of the output
+// channels.
+func shrinkFilters(cur *Failing, try func(Failing) bool) bool {
+	changed := false
+	for cur.W.K > 1 {
+		k := cur.W.K
+		half := k / 2
+		if try(sliceFilters(*cur, 0, half)) || try(sliceFilters(*cur, half, k)) {
+			changed = true
+			continue
+		}
+		break
+	}
+	return changed
+}
+
+// shrinkSpatial tries cropping the feature map to its top/bottom and
+// left/right halves.
+func shrinkSpatial(cur *Failing, try func(Failing) bool) bool {
+	changed := false
+	for cur.F.H > 1 {
+		h := cur.F.H
+		half := (h + 1) / 2
+		if try(cropPlane(*cur, 0, half, 0, cur.F.W)) || try(cropPlane(*cur, h-half, h, 0, cur.F.W)) {
+			changed = true
+			continue
+		}
+		break
+	}
+	for cur.F.W > 1 {
+		w := cur.F.W
+		half := (w + 1) / 2
+		if try(cropPlane(*cur, 0, cur.F.H, 0, half)) || try(cropPlane(*cur, 0, cur.F.H, w-half, w)) {
+			changed = true
+			continue
+		}
+		break
+	}
+	return changed
+}
+
+// shrinkKernel tries cropping the kernel window to its leading rows and
+// columns.
+func shrinkKernel(cur *Failing, try func(Failing) bool) bool {
+	changed := false
+	for cur.W.KH > 1 {
+		if !try(cropKernel(*cur, cur.W.KH-1, cur.W.KW)) {
+			break
+		}
+		changed = true
+	}
+	for cur.W.KW > 1 {
+		if !try(cropKernel(*cur, cur.W.KH, cur.W.KW-1)) {
+			break
+		}
+		changed = true
+	}
+	return changed
+}
+
+// shrinkValues delta-debugs non-zero values away in halving chunks, then
+// tries reducing each survivor's magnitude (to ±1, then halved).
+func shrinkValues(cur *Failing, try func(Failing) bool) bool {
+	changed := false
+	zeroChunk := func(data func(Failing) []int32) {
+		for size := nonZeroCount(data(*cur)); size >= 1; size /= 2 {
+			retry := true
+			for retry {
+				retry = false
+				idx := nonZeroIndices(data(*cur))
+				for start := 0; start < len(idx); start += size {
+					end := start + size
+					if end > len(idx) {
+						end = len(idx)
+					}
+					cand := clone(*cur)
+					d := data(cand)
+					for _, i := range idx[start:end] {
+						d[i] = 0
+					}
+					if try(cand) {
+						changed = true
+						retry = size > 1 // chunk layout changed; rescan at this size
+						break
+					}
+				}
+			}
+		}
+	}
+	zeroChunk(func(fl Failing) []int32 { return fl.F.Data })
+	zeroChunk(func(fl Failing) []int32 { return fl.W.Data })
+
+	// Magnitude reduction on the survivors.
+	reduce := func(data func(Failing) []int32) {
+		for _, i := range nonZeroIndices(data(*cur)) {
+			for _, repl := range []func(int32) int32{
+				func(v int32) int32 {
+					if v < 0 {
+						return -1
+					}
+					return 1
+				},
+				func(v int32) int32 { return v / 2 },
+			} {
+				cand := clone(*cur)
+				d := data(cand)
+				if nv := repl(d[i]); nv != d[i] && nv != 0 {
+					d[i] = nv
+					if try(cand) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	reduce(func(fl Failing) []int32 { return fl.F.Data })
+	reduce(func(fl Failing) []int32 { return fl.W.Data })
+	return changed
+}
+
+func clone(fl Failing) Failing {
+	fl.F = fl.F.Clone()
+	fl.W = fl.W.Clone()
+	return fl
+}
+
+func nonZeroCount(data []int32) int {
+	n := 0
+	for _, v := range data {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func nonZeroIndices(data []int32) []int {
+	var idx []int
+	for i, v := range data {
+		if v != 0 {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+func sliceChannels(fl Failing, lo, hi int) Failing {
+	f := tensor.NewFeatureMap(hi-lo, fl.F.H, fl.F.W, fl.F.Bits)
+	for c := lo; c < hi; c++ {
+		copy(f.Channel(c-lo), fl.F.Channel(c))
+	}
+	w := tensor.NewKernelStack(fl.W.K, hi-lo, fl.W.KH, fl.W.KW, fl.W.Bits)
+	for k := 0; k < fl.W.K; k++ {
+		for c := lo; c < hi; c++ {
+			for y := 0; y < fl.W.KH; y++ {
+				for x := 0; x < fl.W.KW; x++ {
+					w.Set(k, c-lo, y, x, fl.W.At(k, c, y, x))
+				}
+			}
+		}
+	}
+	fl.F, fl.W = f, w
+	return fl
+}
+
+func sliceFilters(fl Failing, lo, hi int) Failing {
+	w := tensor.NewKernelStack(hi-lo, fl.W.C, fl.W.KH, fl.W.KW, fl.W.Bits)
+	for k := lo; k < hi; k++ {
+		copy(w.Kernel(k-lo), fl.W.Kernel(k))
+	}
+	fl.W = w
+	fl.F = fl.F.Clone()
+	return fl
+}
+
+func cropPlane(fl Failing, y0, y1, x0, x1 int) Failing {
+	f := tensor.NewFeatureMap(fl.F.C, y1-y0, x1-x0, fl.F.Bits)
+	for c := 0; c < fl.F.C; c++ {
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				f.Set(c, y-y0, x-x0, fl.F.At(c, y, x))
+			}
+		}
+	}
+	fl.F = f
+	fl.W = fl.W.Clone()
+	return fl
+}
+
+func cropKernel(fl Failing, kh, kw int) Failing {
+	w := tensor.NewKernelStack(fl.W.K, fl.W.C, kh, kw, fl.W.Bits)
+	for k := 0; k < fl.W.K; k++ {
+		for c := 0; c < fl.W.C; c++ {
+			for y := 0; y < kh; y++ {
+				for x := 0; x < kw; x++ {
+					w.Set(k, c, y, x, fl.W.At(k, c, y, x))
+				}
+			}
+		}
+	}
+	fl.W = w
+	fl.F = fl.F.Clone()
+	return fl
+}
+
+// Repro renders the reproducer as a compact, replayable description: the
+// geometry line plus one line per non-zero value. Pasting these into
+// tensor.NewFeatureMap/NewKernelStack Set calls (see EXPERIMENTS.md,
+// Verification) reproduces the failure in a regression test.
+func (fl Failing) Repro() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "A %d×%d×%d (%db)  W %d×%d×%d×%d (%db)  stride %d pad %d\n",
+		fl.F.C, fl.F.H, fl.F.W, fl.F.Bits,
+		fl.W.K, fl.W.C, fl.W.KH, fl.W.KW, fl.W.Bits,
+		fl.Stride, fl.Pad)
+	for c := 0; c < fl.F.C; c++ {
+		for y := 0; y < fl.F.H; y++ {
+			for x := 0; x < fl.F.W; x++ {
+				if v := fl.F.At(c, y, x); v != 0 {
+					fmt.Fprintf(&b, "  A[%d,%d,%d] = %d\n", c, y, x, v)
+				}
+			}
+		}
+	}
+	for k := 0; k < fl.W.K; k++ {
+		for c := 0; c < fl.W.C; c++ {
+			for y := 0; y < fl.W.KH; y++ {
+				for x := 0; x < fl.W.KW; x++ {
+					if v := fl.W.At(k, c, y, x); v != 0 {
+						fmt.Fprintf(&b, "  W[%d,%d,%d,%d] = %d\n", k, c, y, x, v)
+					}
+				}
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ristretto/internal/conformance"
+)
+
+// TestEveryBaselineHasConformanceEngine is the structural counterpart of
+// the differential harness: every accelerator package under
+// internal/baselines must register at least one engine adapter named after
+// its directory, so a new baseline cannot land without being cross-checked
+// against the reference convolution.
+func TestEveryBaselineHasConformanceEngine(t *testing.T) {
+	dir := filepath.Join(repoRoot(t), "internal", "baselines")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, ok := conformance.ByName(e.Name()); !ok {
+			t.Errorf("baseline package internal/baselines/%s has no conformance engine registration (see internal/conformance/engines.go)", e.Name())
+		}
+	}
+}
+
+// TestRistrettoViewsHaveConformanceEngines pins the Ristretto-side adapter
+// set: the functional CSC pipeline (sparse and dense), both simulators and
+// the analytic model must all stay registered.
+func TestRistrettoViewsHaveConformanceEngines(t *testing.T) {
+	for _, name := range []string{"csc", "csc-ns", "tile-sim", "core-sim", "analytic"} {
+		if _, ok := conformance.ByName(name); !ok {
+			t.Errorf("engine %q missing from the conformance registry", name)
+		}
+	}
+}
