@@ -6,6 +6,8 @@
 //
 //	ristretto-bench [-seed N] [-scale N] [-parallel N] [-only "Figure 12"]
 //	                [-csv dir] [-telemetry] [-manifest path]
+//	                [-checkpoint path] [-resume] [-keep-going]
+//	                [-cell-timeout d] [-retries N] [-fault spec]
 //	                [-cpuprofile f] [-memprofile f] [-trace f] [-pprof addr]
 //
 // -scale divides layer spatial dimensions (4 ≈ 16× faster, same ratios).
@@ -17,17 +19,33 @@
 // per-stage breakdowns — see EXPERIMENTS.md for the schema) next to the
 // CSVs: -manifest overrides the path, which defaults to
 // <csv dir>/run_manifest.json, or results/run_manifest.json without -csv.
+//
+// Fault tolerance: -checkpoint journals each completed experiment to an
+// append-only crc-guarded file (schema ristretto.checkpoint/v1); after an
+// interrupt (SIGINT/SIGTERM flush the journal and write a partial manifest,
+// exit code 130) or a crash, -resume replays the journaled cells and runs
+// only what is missing, producing output bit-identical to an uninterrupted
+// run. -keep-going collects every cell failure instead of stopping at the
+// first; -cell-timeout and -retries bound hung and transient cells; -fault
+// injects a deterministic fault schedule (see EXPERIMENTS.md) for chaos
+// testing.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
+	"time"
 
 	"ristretto/internal/experiments"
+	"ristretto/internal/faultinject"
 	"ristretto/internal/telemetry"
 )
 
@@ -40,6 +58,12 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress the run-stats footer")
 	telem := flag.Bool("telemetry", false, "enable telemetry: print the stage-utilization table and write a run manifest")
 	manifestPath := flag.String("manifest", "", "run-manifest path (default <csv dir or results>/run_manifest.json; implies -telemetry)")
+	checkpoint := flag.String("checkpoint", "", "journal completed experiments to this file (schema "+experiments.CheckpointSchema+")")
+	resume := flag.Bool("resume", false, "replay completed cells from the -checkpoint journal and run only what is missing")
+	keepGoing := flag.Bool("keep-going", false, "run every experiment even after failures, reporting all of them")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-experiment wall-time bound (0 = none)")
+	retries := flag.Int("retries", 0, "max re-attempts per experiment for transient errors")
+	faultSpec := flag.String("fault", "", "deterministic fault-injection spec, e.g. \"seed=7,panic=0.1,transient=0.2:2,delay=0.05:10ms,kill-after=5\"")
 	version := flag.Bool("version", false, "print version and VCS info, then exit")
 	var prof telemetry.Profiler
 	prof.RegisterFlags(flag.CommandLine)
@@ -55,6 +79,19 @@ func main() {
 	if *parallel < 0 {
 		fatal(fmt.Errorf("invalid -parallel %d: must be >= 0 (0 = all CPUs)", *parallel))
 	}
+	if *resume && *checkpoint == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
+	if *retries < 0 {
+		fatal(fmt.Errorf("invalid -retries %d: must be >= 0", *retries))
+	}
+	if *cellTimeout < 0 {
+		fatal(fmt.Errorf("invalid -cell-timeout %v: must be >= 0", *cellTimeout))
+	}
+	spec, err := faultinject.ParseSpec(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
 	if err := prof.Start(); err != nil {
 		fatal(err)
 	}
@@ -69,10 +106,50 @@ func main() {
 	}
 	telemetry.Default.SetEnabled(*telem)
 
+	// SIGINT/SIGTERM cancel the run context: in-flight cells finish (and
+	// journal), no new cells start, and a partial manifest is still written.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	b := experiments.NewQuickBench(*seed, *scale)
 	b.Workers = *parallel
-	results, stats := b.AllStats()
-	failed := false
+	b.Ctx = ctx
+
+	opts := experiments.RunOptions{
+		KeepGoing:   *keepGoing,
+		CellTimeout: *cellTimeout,
+		Retries:     *retries,
+	}
+	sched := faultinject.New(spec)
+	sched.OnKill(cancel)
+	opts.Fault = sched.Hook()
+	if spec.Transient > 0 {
+		opts.Retryable = faultinject.IsTransient
+	}
+	if *checkpoint != "" {
+		j, err := experiments.OpenJournal(*checkpoint, "ristretto-bench", b.Fingerprint(), *resume)
+		if err != nil {
+			fatal(err)
+		}
+		defer j.Close()
+		if *resume {
+			if j.Resumable() {
+				fmt.Fprintf(os.Stderr, "ristretto-bench: resuming from %s (%d completed cells", *checkpoint, j.Cells())
+				if n := j.CorruptRecords(); n > 0 {
+					fmt.Fprintf(os.Stderr, ", %d corrupt records skipped", n)
+				}
+				fmt.Fprintln(os.Stderr, ")")
+			} else {
+				fmt.Fprintf(os.Stderr, "ristretto-bench: no resumable checkpoint at %s, starting fresh\n", *checkpoint)
+			}
+		}
+		opts.Journal = j
+	}
+
+	results, rep, runErr := b.AllChecked(opts)
+	failed := runErr != nil && !rep.Interrupted
 	for _, r := range results {
 		if *only != "" && !strings.Contains(strings.ToLower(r.ID), strings.ToLower(*only)) {
 			continue
@@ -103,10 +180,14 @@ func main() {
 		m := telemetry.NewManifest("ristretto-bench")
 		m.Seed = *seed
 		m.Scale = *scale
-		m.Workers = stats.Workers
-		m.WallMillis = float64(stats.Elapsed.Nanoseconds()) / 1e6
-		m.WorkMillis = float64(stats.Work.Nanoseconds()) / 1e6
-		m.Timings = stats.Timings
+		m.Workers = rep.Workers
+		m.WallMillis = float64(rep.Elapsed.Nanoseconds()) / 1e6
+		m.WorkMillis = float64(rep.Work.Nanoseconds()) / 1e6
+		m.Timings = rep.Timings
+		m.Interrupted = rep.Interrupted
+		m.ResumedCells = rep.Resumed
+		m.Checkpoint = *checkpoint
+		m.Failures = rep.Failures
 		m.AttachSnapshot(snap)
 		if err := m.Write(path); err != nil {
 			fatal(err)
@@ -116,8 +197,25 @@ func main() {
 	if !*quiet {
 		fmt.Fprintf(os.Stderr,
 			"ristretto-bench: %d experiments in %s wall-clock (%s of work, %d workers on %d CPUs, %.2fx speedup)\n",
-			stats.Experiments, stats.Elapsed.Round(1e6), stats.Work.Round(1e6),
-			stats.Workers, runtime.NumCPU(), stats.Speedup())
+			rep.Experiments, rep.Elapsed.Round(time.Millisecond), rep.Work.Round(time.Millisecond),
+			rep.Workers, runtime.NumCPU(), rep.Speedup())
+		if rep.Resumed > 0 {
+			fmt.Fprintf(os.Stderr, "ristretto-bench: %d experiments replayed from checkpoint\n", rep.Resumed)
+		}
+		for _, f := range rep.Failures {
+			fmt.Fprintf(os.Stderr, "ristretto-bench: cell %q failed: %s (replay seed %d)\n", f.Cell, f.Error, f.Seed)
+		}
+	}
+	if rep.Interrupted {
+		msg := "ristretto-bench: interrupted"
+		if *checkpoint != "" {
+			msg += fmt.Sprintf("; rerun with -checkpoint %s -resume to continue", *checkpoint)
+		}
+		fmt.Fprintln(os.Stderr, msg)
+		os.Exit(130)
+	}
+	if errors.Is(runErr, context.Canceled) {
+		os.Exit(130)
 	}
 	if failed {
 		fatal(fmt.Errorf("one or more experiments failed"))

@@ -7,18 +7,33 @@
 //	ristretto-dse -net ResNet-18 -precision 4b [-scale 4] [-seed 1] [-parallel N]
 //	              [-tiles 8,16,32,64] [-mults 8,16,32] [-grans 1,2,3]
 //	              [-telemetry] [-manifest path]
+//	              [-checkpoint path] [-resume] [-keep-going]
+//	              [-cell-timeout d] [-retries N] [-fault spec]
 //	              [-cpuprofile f] [-memprofile f] [-trace f] [-pprof addr]
+//
+// Fault tolerance mirrors ristretto-bench: -checkpoint journals each grid
+// point (keyed "g<gran>-t<tiles>-m<mults>") to an append-only crc-guarded
+// file, SIGINT/SIGTERM flush the journal and exit 130, and -resume
+// recomputes only the missing points — the rendered frontier is
+// bit-identical to an uninterrupted sweep. The journal fingerprint covers
+// the network, precision and grid, so resuming with different sweep
+// parameters is rejected.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"ristretto/internal/experiments"
+	"ristretto/internal/faultinject"
 	"ristretto/internal/telemetry"
 )
 
@@ -33,6 +48,12 @@ func main() {
 	grans := flag.String("grans", "1,2,3", "comma-separated atom granularities (1-3)")
 	telem := flag.Bool("telemetry", false, "enable telemetry and print the stage-utilization table and counter snapshot")
 	manifestPath := flag.String("manifest", "", "also write a run manifest to this path (implies -telemetry)")
+	checkpoint := flag.String("checkpoint", "", "journal completed grid points to this file (schema "+experiments.CheckpointSchema+")")
+	resume := flag.Bool("resume", false, "replay completed grid points from the -checkpoint journal and compute only what is missing")
+	keepGoing := flag.Bool("keep-going", false, "sweep every grid point even after failures, excluding failed points from the frontier")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-point wall-time bound (0 = none)")
+	retries := flag.Int("retries", 0, "max re-attempts per grid point for transient errors")
+	faultSpec := flag.String("fault", "", "deterministic fault-injection spec, e.g. \"seed=7,transient=0.2:2,kill-after=5\"")
 	version := flag.Bool("version", false, "print version and VCS info, then exit")
 	var prof telemetry.Profiler
 	prof.RegisterFlags(flag.CommandLine)
@@ -61,6 +82,19 @@ func main() {
 			fatal(fmt.Errorf("invalid -tiles/-mults value %d: must be >= 1", v))
 		}
 	}
+	if *resume && *checkpoint == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
+	if *retries < 0 {
+		fatal(fmt.Errorf("invalid -retries %d: must be >= 0", *retries))
+	}
+	if *cellTimeout < 0 {
+		fatal(fmt.Errorf("invalid -cell-timeout %v: must be >= 0", *cellTimeout))
+	}
+	spec, err := faultinject.ParseSpec(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
 	if err := prof.Start(); err != nil {
 		fatal(err)
 	}
@@ -74,11 +108,53 @@ func main() {
 	}
 	telemetry.Default.SetEnabled(*telem)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	b := experiments.NewQuickBench(*seed, *scale)
 	b.Nets = []string{*net}
 	b.Workers = *parallel
-	r, err := b.DSETable(*net, *precision, ints(*tiles), ints(*mults), ints(*grans))
-	if err != nil {
+	b.Ctx = ctx
+
+	opts := experiments.RunOptions{
+		KeepGoing:   *keepGoing,
+		CellTimeout: *cellTimeout,
+		Retries:     *retries,
+	}
+	sched := faultinject.New(spec)
+	sched.OnKill(cancel)
+	opts.Fault = sched.Hook()
+	if spec.Transient > 0 {
+		opts.Retryable = faultinject.IsTransient
+	}
+	if *checkpoint != "" {
+		// The bench fingerprint alone would collide across -net/-precision and
+		// grid shapes; pin the whole sweep identity into the journal header.
+		fp := fmt.Sprintf("%s net=%s prec=%s tiles=%s mults=%s grans=%s",
+			b.Fingerprint(), *net, *precision, *tiles, *mults, *grans)
+		j, err := experiments.OpenJournal(*checkpoint, "ristretto-dse", fp, *resume)
+		if err != nil {
+			fatal(err)
+		}
+		defer j.Close()
+		if *resume && j.Resumable() {
+			fmt.Fprintf(os.Stderr, "ristretto-dse: resuming from %s (%d completed points)\n", *checkpoint, j.Cells())
+		}
+		opts.Journal = j
+	}
+
+	r, err := b.DSETableOpts(opts, *net, *precision, ints(*tiles), ints(*mults), ints(*grans))
+	if ctx.Err() != nil {
+		msg := "ristretto-dse: interrupted"
+		if *checkpoint != "" {
+			msg += fmt.Sprintf("; rerun with -checkpoint %s -resume to continue", *checkpoint)
+		}
+		fmt.Fprintln(os.Stderr, msg)
+		os.Exit(130)
+	}
+	if err != nil && !errors.Is(err, context.Canceled) && r == nil {
 		fatal(err)
 	}
 	fmt.Println(r.String())
@@ -96,12 +172,16 @@ func main() {
 				m.Workers = runtime.NumCPU()
 			}
 			m.Nets = []string{*net}
+			m.Checkpoint = *checkpoint
 			m.AttachSnapshot(snap)
 			if err := m.Write(*manifestPath); err != nil {
 				fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "ristretto-dse: run manifest written to %s\n", *manifestPath)
 		}
+	}
+	if r.Err != nil {
+		fatal(fmt.Errorf("one or more grid points failed: %w", r.Err))
 	}
 }
 

@@ -14,11 +14,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"ristretto/internal/conformance"
@@ -68,11 +72,18 @@ func main() {
 	}
 	telemetry.Default.SetEnabled(*telem)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
 	pool := runner.New(*workers)
-	reports, err := runner.Map(pool, len(selected), func(i int) (conformance.EngineReport, error) {
+	reports, err := runner.Map(ctx, pool, len(selected), func(i int) (conformance.EngineReport, error) {
 		return conformance.SweepEngine(selected[i], *seed, *cases, *shrink), nil
 	})
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "ristretto-verify: interrupted")
+		os.Exit(130)
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 
 	"ristretto/internal/atom"
@@ -28,8 +30,38 @@ type Bench struct {
 	// bit-identical for every value — the determinism test enforces it.
 	Workers int
 
+	// Ctx, when set, cancels in-flight sweeps: once it is done no new cell
+	// starts and the run returns with the partial results journaled so far.
+	// The CLIs wire SIGINT/SIGTERM here. Nil means context.Background().
+	Ctx context.Context
+
 	mu    sync.Mutex
 	cache map[string]*statsEntry
+}
+
+// ctx returns the bench context, defaulting to Background.
+func (b *Bench) ctx() context.Context {
+	if b.Ctx != nil {
+		return b.Ctx
+	}
+	return context.Background()
+}
+
+// Fingerprint identifies the workload configuration a checkpoint journal was
+// written under: seed, scale and network subset. Resuming with a different
+// fingerprint would silently mix incompatible cells, so the journal refuses.
+func (b *Bench) Fingerprint() string {
+	nets := "all"
+	if b.Nets != nil {
+		nets = strings.Join(b.Nets, "+")
+	}
+	return fmt.Sprintf("seed=%d scale=%d nets=%s", b.Seed, b.Scale, nets)
+}
+
+// mapCells is the fan-out used by every inner experiment sweep: runner.Map
+// under the bench context and worker pool.
+func mapCells[T any](b *Bench, n int, fn func(i int) (T, error)) ([]T, error) {
+	return runner.Map(b.ctx(), b.pool(), n, fn)
 }
 
 // statsEntry is a single-flight cache slot: the first caller synthesizes the

@@ -11,20 +11,20 @@ import (
 	"ristretto/internal/energy"
 	"ristretto/internal/model"
 	"ristretto/internal/ristretto"
-	"ristretto/internal/runner"
 	"ristretto/internal/workload"
 )
 
 // precNetCells evaluates fn over the precision × network cross product on
 // the bench worker pool, returning cells in precision-major order — the
 // iteration order of the serial loops it replaces, so assembling rows from
-// the returned slice reproduces the serial output bit for bit.
-func precNetCells[T any](b *Bench, precs []string, fn func(prec string, n *model.Network) T) []T {
+// the returned slice reproduces the serial output bit for bit. A non-nil
+// error (a panicking cell, or run cancellation) means the cells are partial
+// and the caller must fail its Result instead of rendering zeros.
+func precNetCells[T any](b *Bench, precs []string, fn func(prec string, n *model.Network) T) ([]T, error) {
 	nets := b.Networks()
-	cells, _ := runner.Map(b.pool(), len(precs)*len(nets), func(i int) (T, error) {
+	return mapCells(b, len(precs)*len(nets), func(i int) (T, error) {
 		return fn(precs[i/len(nets)], nets[i%len(nets)]), nil
 	})
-	return cells
 }
 
 // Matched configurations of Section V:
@@ -57,7 +57,7 @@ func (b *Bench) Figure12() *Result {
 	areaR := energy.RistrettoArea(rcfg.Tiles, rcfg.Tile.Mults, int(rcfg.Tile.Gran)).Total()
 	areaB := energy.BitFusionArea(bfcfg.Units())
 	type cell struct{ s, sns float64 }
-	cells := precNetCells(b, PrecisionNames, func(prec string, n *model.Network) cell {
+	cells, err := precNetCells(b, PrecisionNames, func(prec string, n *model.Network) cell {
 		stats := b.Stats(n, prec, rcfg.Tile.Gran)
 		cr := ristretto.EstimateNetwork(stats, rcfg).Cycles
 		cns := ristretto.EstimateNetwork(stats, nscfg).Cycles
@@ -67,6 +67,9 @@ func (b *Bench) Figure12() *Result {
 			sns: areaNormSpeedup(cbf, areaB, cns, areaR),
 		}
 	})
+	if err != nil {
+		return r.fail(err)
+	}
 	nets := b.Networks()
 	for pi, prec := range PrecisionNames {
 		var sp, spNS []float64
@@ -100,7 +103,7 @@ func (b *Bench) Figure13() *Result {
 	bfcfg := bitfusion.DefaultConfig()
 	m := energy.Default()
 	type cell struct{ ratio, dram float64 }
-	cells := precNetCells(b, PrecisionNames, func(prec string, n *model.Network) cell {
+	cells, err := precNetCells(b, PrecisionNames, func(prec string, n *model.Network) cell {
 		stats := b.Stats(n, prec, rcfg.Tile.Gran)
 		cr := ristretto.EstimateNetwork(stats, rcfg).Counters
 		_, cbf := bitfusion.EstimateNetwork(stats, bfcfg)
@@ -108,6 +111,9 @@ func (b *Bench) Figure13() *Result {
 		eb := m.Split(cbf)
 		return cell{ratio: er.Total() / eb.Total(), dram: er.OffChipPJ / er.Total()}
 	})
+	if err != nil {
+		return r.fail(err)
+	}
 	nNets := len(b.Networks())
 	for pi, prec := range PrecisionNames {
 		var ratios, dramShare []float64
@@ -131,12 +137,15 @@ func (b *Bench) Figure14() *Result {
 	}
 	rcfg := ristrettoVsLaconic()
 	lcfg := laconic.DefaultConfig()
-	cells := precNetCells(b, PrecisionNames, func(prec string, n *model.Network) float64 {
+	cells, err := precNetCells(b, PrecisionNames, func(prec string, n *model.Network) float64 {
 		stats := b.Stats(n, prec, rcfg.Tile.Gran)
 		cr := ristretto.EstimateNetwork(stats, rcfg).Cycles
 		cl, _ := laconic.EstimateNetwork(stats, lcfg)
 		return float64(cl) / float64(cr)
 	})
+	if err != nil {
+		return r.fail(err)
+	}
 	nets := b.Networks()
 	for pi, prec := range PrecisionNames {
 		var sp []float64
@@ -170,7 +179,7 @@ func (b *Bench) Figure15() *Result {
 		{"atom density (value density 1.0)", func(float64) float64 { return 1.0 }, func(d float64) float64 { return d }},
 		{"value density (atom density 1.0)", func(d float64) float64 { return d }, func(float64) float64 { return 1.0 }},
 	}
-	cycles, _ := runner.Map(b.pool(), len(sweeps)*len(densities), func(i int) (int64, error) {
+	cycles, err := mapCells(b, len(sweeps)*len(densities), func(i int) (int64, error) {
 		sw := sweeps[i/len(densities)]
 		d := densities[i%len(densities)]
 		g := workload.NewGen(b.Seed)
@@ -178,6 +187,9 @@ func (b *Bench) Figure15() *Result {
 		w := g.KernelsExact(16, 8, 3, 3, 8, 2, sw.valD(d), sw.atomD(d))
 		return ristretto.SimulateConv(f, w, 1, 1, cfg).Cycles, nil
 	})
+	if err != nil {
+		return r.fail(err)
+	}
 	dense := cycles[0] // both sweeps start at density 1.0 = the dense run
 	for i, c := range cycles {
 		r.AddRow(sweeps[i/len(densities)].label, f2(densities[i%len(densities)]),
@@ -197,12 +209,15 @@ func (b *Bench) Figure16() *Result {
 	rcfg := ristrettoVsLaconic()
 	lcfg := laconic.DefaultConfig()
 	m := energy.Default()
-	cells := precNetCells(b, PrecisionNames, func(prec string, n *model.Network) float64 {
+	cells, err := precNetCells(b, PrecisionNames, func(prec string, n *model.Network) float64 {
 		stats := b.Stats(n, prec, rcfg.Tile.Gran)
 		cr := ristretto.EstimateNetwork(stats, rcfg).Counters
 		_, cl := laconic.EstimateNetwork(stats, lcfg)
 		return m.TotalPJ(cr) / m.TotalPJ(cl)
 	})
+	if err != nil {
+		return r.fail(err)
+	}
 	nNets := len(b.Networks())
 	for pi, prec := range PrecisionNames {
 		r.AddRow(prec, pct(geomean(cells[pi*nNets:(pi+1)*nNets])), "100%")
@@ -226,7 +241,7 @@ func (b *Bench) Figure17() *Result {
 	areaST := energy.SparTenArea(32, false)
 	areaMP := energy.SparTenArea(32, true)
 	type cell struct{ sR, sMP float64 }
-	cells := precNetCells(b, PrecisionNames, func(prec string, n *model.Network) cell {
+	cells, err := precNetCells(b, PrecisionNames, func(prec string, n *model.Network) cell {
 		stats := b.Stats(n, prec, rcfg.Tile.Gran)
 		cr := ristretto.EstimateNetwork(stats, rcfg).Cycles
 		cst, _ := sparten.EstimateNetwork(stats, stcfg)
@@ -236,6 +251,9 @@ func (b *Bench) Figure17() *Result {
 			sMP: areaNormSpeedup(cst, areaST, cmp, areaMP),
 		}
 	})
+	if err != nil {
+		return r.fail(err)
+	}
 	nets := b.Networks()
 	for pi, prec := range PrecisionNames {
 		var spR, spMP []float64
@@ -319,7 +337,7 @@ func (b *Bench) Figure19b() *Result {
 	mults := map[int]int{1: 64, 2: 16, 3: 7}
 	precs := []string{"8b", "4b", "2b"}
 	grans := []int{1, 2, 3}
-	perfAt, _ := runner.Map(b.pool(), len(precs)*len(grans), func(i int) (float64, error) {
+	perfAt, err := mapCells(b, len(precs)*len(grans), func(i int) (float64, error) {
 		prec := precs[i/len(grans)]
 		gran := grans[i%len(grans)]
 		cfg := ristretto.Config{Tiles: 32, Tile: ristretto.TileConfig{Mults: mults[gran], Gran: atom.Granularity(gran)}, Policy: balance.WeightAct}
@@ -335,6 +353,9 @@ func (b *Bench) Figure19b() *Result {
 		}
 		return geomean(perfs), nil
 	})
+	if err != nil {
+		return r.fail(err)
+	}
 	colPerf := map[int][]float64{}
 	for pi, prec := range precs {
 		row := []string{prec}

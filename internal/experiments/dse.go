@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 
@@ -10,6 +11,7 @@ import (
 	"ristretto/internal/model"
 	"ristretto/internal/ristretto"
 	"ristretto/internal/runner"
+	"ristretto/internal/telemetry"
 )
 
 // DSEPoint is one configuration of the Ristretto design space and its
@@ -29,6 +31,16 @@ type DSEPoint struct {
 // paper's configuration choices (32 tiles × 32 2-bit multipliers vs Bit
 // Fusion; ×16 for the BitOps-matched comparisons).
 func (b *Bench) DesignSpace(netName, precision string, tiles, mults, grans []int) ([]DSEPoint, error) {
+	return b.DesignSpaceOpts(RunOptions{}, netName, precision, tiles, mults, grans)
+}
+
+// DesignSpaceOpts is DesignSpace under fault tolerance: grid points journal
+// individually to the checkpoint (keyed "g<gran>-t<tiles>-m<mults>"), a
+// resumed sweep recomputes only missing points, and with KeepGoing failed
+// points are excluded from the frontier (never marked Pareto with zeroed
+// figures of merit) while the surviving points plus the aggregated
+// CellErrors are both returned.
+func (b *Bench) DesignSpaceOpts(opts RunOptions, netName, precision string, tiles, mults, grans []int) ([]DSEPoint, error) {
 	var net *model.Network
 	for _, n := range b.Networks() {
 		if n.Name == netName {
@@ -67,7 +79,24 @@ func (b *Bench) DesignSpace(netName, precision string, tiles, mults, grans []int
 			}
 		}
 	}
-	points, err := runner.Map(b.pool(), len(grid), func(i int) (DSEPoint, error) {
+	key := func(i int) string {
+		g := grid[i]
+		return fmt.Sprintf("g%d-t%d-m%d", g.gran, g.tl, g.m)
+	}
+	cfg := opts.runnerCfg(b.Seed, key)
+	points, err := runner.MapCfg(b.ctx(), b.pool(), cfg, len(grid), func(i int) (DSEPoint, error) {
+		if opts.Journal != nil {
+			if raw, ok := opts.Journal.Lookup(key(i)); ok {
+				var p DSEPoint
+				if derr := json.Unmarshal(raw, &p); derr != nil {
+					return DSEPoint{}, fmt.Errorf("experiments: corrupt journal payload for %q: %w", key(i), derr)
+				}
+				if telemetry.Default.Enabled() {
+					telemetry.Default.Counter("runner.cells_resumed").Inc()
+				}
+				return p, nil
+			}
+		}
 		g := grid[i]
 		cfg := ristretto.Config{
 			Tiles:  g.tl,
@@ -78,20 +107,46 @@ func (b *Bench) DesignSpace(netName, precision string, tiles, mults, grans []int
 		perf := ristretto.EstimateNetwork(stats, cfg)
 		area := energy.RistrettoArea(g.tl, g.m, g.gran).Total()
 		pj := energy.ModelForGranularity(g.gran).TotalPJ(perf.Counters)
-		return DSEPoint{
+		p := DSEPoint{
 			Tiles: g.tl, Mults: g.m, Gran: g.gran,
 			Cycles:      perf.Cycles,
 			AreaMM2:     area,
 			EnergyMJ:    pj / 1e9,
 			PerfPerArea: 1e9 / (float64(perf.Cycles) * area),
-		}, nil
+		}
+		if opts.Journal != nil && b.ctx().Err() == nil {
+			if jerr := opts.Journal.Append(key(i), p); jerr != nil {
+				return DSEPoint{}, fmt.Errorf("experiments: journaling %q: %w", key(i), jerr)
+			}
+		}
+		return p, nil
 	})
-	if err != nil {
+	if err != nil && !opts.KeepGoing {
 		return nil, err
+	}
+	if b.ctx().Err() != nil {
+		// A cancelled sweep has unstarted zero-valued points; no frontier can
+		// be marked from it. The journal already holds everything completed.
+		return nil, err
+	}
+	if ces := runner.AsCellErrors(err); len(ces) > 0 {
+		// Drop failed grid points before Pareto marking: a zero-valued point
+		// would dominate everything and corrupt the frontier.
+		bad := map[int]bool{}
+		for _, ce := range ces {
+			bad[ce.Cell] = true
+		}
+		kept := points[:0]
+		for i, p := range points {
+			if !bad[i] {
+				kept = append(kept, p)
+			}
+		}
+		points = kept
 	}
 	markPareto(points)
 	sort.SliceStable(points, func(i, j int) bool { return points[i].PerfPerArea > points[j].PerfPerArea })
-	return points, nil
+	return points, err
 }
 
 // markPareto flags points not dominated on (cycles, area, energy).
@@ -115,8 +170,15 @@ func markPareto(points []DSEPoint) {
 
 // DSETable renders a design-space sweep as a Result.
 func (b *Bench) DSETable(netName, precision string, tiles, mults, grans []int) (*Result, error) {
-	points, err := b.DesignSpace(netName, precision, tiles, mults, grans)
-	if err != nil {
+	return b.DSETableOpts(RunOptions{}, netName, precision, tiles, mults, grans)
+}
+
+// DSETableOpts is DSETable under fault tolerance. With KeepGoing, cell
+// failures do not abort the sweep: the surviving frontier is rendered and
+// the aggregated failure is recorded on the Result's Err field.
+func (b *Bench) DSETableOpts(opts RunOptions, netName, precision string, tiles, mults, grans []int) (*Result, error) {
+	points, err := b.DesignSpaceOpts(opts, netName, precision, tiles, mults, grans)
+	if err != nil && points == nil {
 		return nil, err
 	}
 	r := &Result{
@@ -133,5 +195,6 @@ func (b *Bench) DSETable(netName, precision string, tiles, mults, grans []int) (
 			fmt.Sprint(p.Cycles), fmt.Sprintf("%.3f", p.AreaMM2), fmt.Sprintf("%.3f", p.EnergyMJ),
 			fmt.Sprintf("%.3g", p.PerfPerArea), mark)
 	}
+	r.Err = err // keep-going failures, if any
 	return r, nil
 }

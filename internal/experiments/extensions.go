@@ -12,7 +12,6 @@ import (
 	"ristretto/internal/energy"
 	"ristretto/internal/model"
 	"ristretto/internal/ristretto"
-	"ristretto/internal/runner"
 	"ristretto/internal/sparse"
 	"ristretto/internal/tensor"
 	"ristretto/internal/workload"
@@ -37,7 +36,7 @@ func (b *Bench) ExtTableI() *Result {
 	rcfg := ristrettoVsLaconic()
 	precs := []string{"8b", "2b"}
 	type cell struct{ sR, sSC, sSN float64 }
-	cells := precNetCells(b, precs, func(prec string, n *model.Network) cell {
+	cells, err := precNetCells(b, precs, func(prec string, n *model.Network) cell {
 		stats := b.Stats(n, prec, rcfg.Tile.Gran)
 		cr := ristretto.EstimateNetwork(stats, rcfg).Cycles
 		cst, _ := sparten.EstimateNetwork(stats, sparten.DefaultConfig())
@@ -49,6 +48,9 @@ func (b *Bench) ExtTableI() *Result {
 			sSN: float64(cst) / float64(csn),
 		}
 	})
+	if err != nil {
+		return r.fail(err)
+	}
 	nets := b.Networks()
 	for pi, prec := range precs {
 		var spR, spSC, spSN []float64
@@ -80,7 +82,7 @@ func (b *Bench) ExtFigure3() *Result {
 	areaL := energy.LaconicArea(lcfg.PEs())
 	areaM := energy.LaconicArea(lcfg.PEs()) * laconic.ModifiedAreaFactor
 	precs := []string{"8b", "2b"}
-	cells := precNetCells(b, precs, func(prec string, n *model.Network) [3]float64 {
+	cells, err := precNetCells(b, precs, func(prec string, n *model.Network) [3]float64 {
 		stats := b.Stats(n, prec, rcfg.Tile.Gran)
 		cl, _ := laconic.EstimateNetwork(stats, lcfg)
 		cm, _ := laconic.EstimateNetworkModified(stats, lcfg)
@@ -91,6 +93,9 @@ func (b *Bench) ExtFigure3() *Result {
 			areaNormSpeedup(cl, areaL, cr, areaR),
 		}
 	})
+	if err != nil {
+		return r.fail(err)
+	}
 	nets := b.Networks()
 	for pi, prec := range precs {
 		for ni, n := range nets {
@@ -115,13 +120,16 @@ func (b *Bench) ExtStride() *Result {
 	naive := base
 	naive.NaiveStride = true
 	nets := b.Networks()
-	cells, _ := runner.Map(b.pool(), len(nets), func(i int) ([2]int64, error) {
+	cells, err := mapCells(b, len(nets), func(i int) ([2]int64, error) {
 		stats := b.Stats(nets[i], "8b", base.Tile.Gran)
 		return [2]int64{
 			ristretto.EstimateNetwork(stats, naive).Cycles,
 			ristretto.EstimateNetwork(stats, base).Cycles,
 		}, nil
 	})
+	if err != nil {
+		return r.fail(err)
+	}
 	for i, n := range nets {
 		cn, cp := cells[i][0], cells[i][1]
 		r.AddRow(n.Name, fmt.Sprint(cn), fmt.Sprint(cp), f2(float64(cn)/float64(cp)))
@@ -145,10 +153,13 @@ func (b *Bench) ExtFIFO() *Result {
 	depths := []int{1, 2, 4, 8, 16}
 	// The operands are generated once (sequentially, above) and shared
 	// read-only; only the per-depth simulations fan out.
-	sims, _ := runner.Map(b.pool(), len(depths), func(i int) (ristretto.SimResult, error) {
+	sims, err := mapCells(b, len(depths), func(i int) (ristretto.SimResult, error) {
 		cfg := ristretto.Config{Tiles: 1, Tile: ristretto.TileConfig{Mults: 16, Gran: 2, FIFODepth: depths[i]}}
 		return ristretto.SimulateConv(f, w, 1, 1, cfg), nil
 	})
+	if err != nil {
+		return r.fail(err)
+	}
 	for i, sim := range sims {
 		r.AddRow(fmt.Sprint(depths[i]), fmt.Sprint(sim.Cycles), fmt.Sprint(sim.Stalls),
 			pct(float64(sim.Stalls)/float64(sim.Cycles)))
@@ -226,7 +237,7 @@ func (b *Bench) ExtBalancingNetworks() *Result {
 	}
 	base := ristrettoVsBitFusion()
 	nets := b.Networks()
-	cells, _ := runner.Map(b.pool(), len(nets), func(i int) ([3]int64, error) {
+	cells, err := mapCells(b, len(nets), func(i int) ([3]int64, error) {
 		stats := b.Stats(nets[i], "4b", base.Tile.Gran)
 		var cy [3]int64
 		for j, p := range []balance.Policy{balance.None, balance.WeightOnly, balance.WeightAct} {
@@ -236,6 +247,9 @@ func (b *Bench) ExtBalancingNetworks() *Result {
 		}
 		return cy, nil
 	})
+	if err != nil {
+		return r.fail(err)
+	}
 	for i, n := range nets {
 		cy := cells[i]
 		r.AddRow(n.Name, "1.00", f2(float64(cy[1])/float64(cy[0])), f2(float64(cy[2])/float64(cy[0])))
@@ -256,11 +270,14 @@ func (b *Bench) ExtMultiCore() *Result {
 	n := b.Networks()[len(b.Networks())-1]
 	stats := b.Stats(n, "4b", 2)
 	tileCounts := []int{32, 64, 128, 256}
-	cycles, _ := runner.Map(b.pool(), len(tileCounts), func(i int) (int64, error) {
+	cycles, err := mapCells(b, len(tileCounts), func(i int) (int64, error) {
 		cfg := ristrettoVsBitFusion()
 		cfg.Tiles = tileCounts[i]
 		return ristretto.EstimateNetwork(stats, cfg).Cycles, nil
 	})
+	if err != nil {
+		return r.fail(err)
+	}
 	base := cycles[0] // 32 tiles
 	for i, cy := range cycles {
 		tiles := tileCounts[i]

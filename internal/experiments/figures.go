@@ -10,7 +10,6 @@ import (
 	"ristretto/internal/energy"
 	"ristretto/internal/model"
 	"ristretto/internal/quant"
-	"ristretto/internal/runner"
 	"ristretto/internal/workload"
 )
 
@@ -43,7 +42,7 @@ func (b *Bench) Figure1() *Result {
 	bitsList := []int{8, 6, 4, 2}
 	const maxSamples = 60000
 	type cell struct{ wSpar, aSpar float64 }
-	cells, err := runner.Map(b.pool(), len(nets)*len(bitsList), func(i int) (cell, error) {
+	cells, err := mapCells(b, len(nets)*len(bitsList), func(i int) (cell, error) {
 		name := nets[i/len(bitsList)]
 		bits := bitsList[i%len(bitsList)]
 		n, err := model.ByName(name)
@@ -130,7 +129,7 @@ func (b *Bench) Figure4() *Result {
 		sps = append(sps, sp)
 	}
 	type cell struct{ theo, avg, tile float64 }
-	cells, _ := runner.Map(b.pool(), len(cfgs)*len(sps), func(i int) (cell, error) {
+	cells, err := mapCells(b, len(cfgs)*len(sps), func(i int) (cell, error) {
 		cfg := cfgs[i/len(sps)]
 		sp := sps[i%len(sps)]
 		// Seed derived per (tile, sparsity) cell; the old b.Seed+sp*1000+PEs
@@ -146,6 +145,9 @@ func (b *Bench) Figure4() *Result {
 		}
 		return c, nil
 	})
+	if err != nil {
+		return r.fail(err)
+	}
 	for i, c := range cells {
 		cfg := cfgs[i/len(sps)]
 		r.AddRow(fmt.Sprintf("%dx%d", cfg.PERows, cfg.PECols), pct(sps[i%len(sps)]),

@@ -12,13 +12,13 @@
 package modelio
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
 
+	"ristretto/internal/safeio"
 	"ristretto/internal/tensor"
 )
 
@@ -192,19 +192,8 @@ func LoadKernelStack(path string) (*tensor.KernelStack, error) {
 	return ReadKernelStack(fh)
 }
 
+// save writes crash-safely: a kill mid-write leaves the previous file (or
+// nothing), never a truncated .rstt that would fail its crc on load.
 func save(path string, write func(io.Writer) error) error {
-	fh, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	bw := bufio.NewWriter(fh)
-	if err := write(bw); err != nil {
-		fh.Close()
-		return err
-	}
-	if err := bw.Flush(); err != nil {
-		fh.Close()
-		return err
-	}
-	return fh.Close()
+	return safeio.WriteTo(path, 0o644, write)
 }

@@ -159,19 +159,26 @@ func TestFileSaveLoad(t *testing.T) {
 }
 
 func TestSaveErrorPaths(t *testing.T) {
+	// A path whose parent is a regular file is unwritable for any user
+	// (unlike a missing absolute directory, which root could create).
+	blocker := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(blocker, "x.rstt")
 	g := workload.NewGen(7)
 	f := g.FeatureMapExact(1, 2, 2, 8, 2, 0.5, 0.7)
-	if err := SaveFeatureMap("/nonexistent-dir/x.rstt", f); err == nil {
+	if err := SaveFeatureMap(bad, f); err == nil {
 		t.Fatal("expected error for unwritable path")
 	}
-	if _, err := LoadFeatureMap("/nonexistent-dir/x.rstt"); err == nil {
+	if _, err := LoadFeatureMap(bad); err == nil {
 		t.Fatal("expected error for missing file")
 	}
 	k := g.KernelsExact(1, 1, 1, 1, 8, 2, 1, 1)
-	if err := SaveKernelStack("/nonexistent-dir/x.rstt", k); err == nil {
+	if err := SaveKernelStack(bad, k); err == nil {
 		t.Fatal("expected error for unwritable kernel path")
 	}
-	if _, err := LoadKernelStack("/nonexistent-dir/x.rstt"); err == nil {
+	if _, err := LoadKernelStack(bad); err == nil {
 		t.Fatal("expected error for missing kernel file")
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"time"
+
+	"ristretto/internal/safeio"
 )
 
 // ManifestSchema identifies the run-manifest JSON layout. Bump the suffix
@@ -20,6 +22,18 @@ type ExperimentTiming struct {
 	IDs    []string `json:"ids"`
 	Rows   int      `json:"rows"`
 	Millis float64  `json:"ms"`
+}
+
+// CellFailure is one failed sweep cell as recorded in a run manifest: the
+// stable cell key, the error, and the replay coordinates (seed, attempts)
+// plus how it failed — enough to rerun the cell alone.
+type CellFailure struct {
+	Cell     string `json:"cell"`
+	Error    string `json:"error"`
+	Seed     int64  `json:"seed,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+	Panic    bool   `json:"panic,omitempty"`
+	TimedOut bool   `json:"timed_out,omitempty"`
 }
 
 // Manifest is the structured record of one experiment run, written as JSON
@@ -45,6 +59,15 @@ type Manifest struct {
 	WallMillis float64            `json:"wall_ms"` // whole-run wall clock
 	WorkMillis float64            `json:"work_ms"` // summed per-experiment time
 	Timings    []ExperimentTiming `json:"experiments,omitempty"`
+
+	// Fault-tolerance outcome of the run: whether it was interrupted before
+	// completing (the manifest is then partial), how many cells were
+	// replayed from the checkpoint journal, the journal path, and every
+	// per-cell failure record.
+	Interrupted  bool          `json:"interrupted,omitempty"`
+	ResumedCells int           `json:"resumed_cells,omitempty"`
+	Checkpoint   string        `json:"checkpoint,omitempty"`
+	Failures     []CellFailure `json:"failures,omitempty"`
 
 	Stages    []StageReport `json:"stages"` // always all three pipeline stages
 	Telemetry Snapshot      `json:"telemetry"`
@@ -73,7 +96,8 @@ func (m *Manifest) AttachSnapshot(s Snapshot) {
 }
 
 // Write serializes the manifest as indented JSON to path, creating parent
-// directories as needed.
+// directories as needed. The write is crash-safe (temp file + fsync +
+// rename): a kill mid-write never leaves a truncated manifest behind.
 func (m *Manifest) Write(path string) error {
 	if dir := filepath.Dir(path); dir != "." && dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -84,5 +108,5 @@ func (m *Manifest) Write(path string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	return safeio.WriteFile(path, append(b, '\n'), 0o644)
 }

@@ -1,6 +1,7 @@
 package telemetry_test
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -59,7 +60,7 @@ func TestAggregationUnderParallelRunner(t *testing.T) {
 
 	const n = 1000
 	p := runner.New(8)
-	_, err := runner.Map(p, n, func(i int) (int, error) {
+	_, err := runner.Map(context.Background(), p, n, func(i int) (int, error) {
 		c.Add(int64(i))
 		h.Observe(int64(i % 16))
 		return i, nil
@@ -96,7 +97,7 @@ func TestDefaultRegistryTapsUnderRunner(t *testing.T) {
 	})
 
 	const n = 500
-	_, err := runner.Map(runner.New(4), n, func(i int) (int, error) { return i * i, nil })
+	_, err := runner.Map(context.Background(), runner.New(4), n, func(i int) (int, error) { return i * i, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
