@@ -1,0 +1,141 @@
+// Command ristretto-serve runs the simulation-as-a-service daemon: the
+// repository's engines (analytic model, cycle-accurate core simulator,
+// quantization sweep, conformance spot-checks) behind the hardened HTTP
+// layer of internal/server — admission control with load shedding,
+// per-request deadlines and panic isolation, a circuit breaker that
+// degrades cycle-accurate answers to the analytic model under queue
+// pressure, and graceful drain on SIGINT/SIGTERM (exit 0).
+//
+// Usage:
+//
+//	ristretto-serve [-addr :8390] [-max-concurrent N] [-queue 64]
+//	                [-deadline 15s] [-max-deadline 2m] [-max-body 1048576]
+//	                [-breaker-threshold 250ms] [-breaker-cooldown 2s]
+//	                [-default-scale 16] [-drain-grace 30s]
+//	                [-fault spec] [-version]
+//	                [-cpuprofile f] [-memprofile f] [-trace f] [-pprof addr]
+//
+// Endpoints: POST /v1/model, /v1/sim, /v1/quant, /v1/conformance;
+// GET /healthz, /readyz, /metrics. The -fault flag takes the same
+// seed-deterministic schedule spec as the batch CLIs (see EXPERIMENTS.md)
+// and injects it into request handling — the chaos CI job uses it to prove
+// injected panics 500 one request without killing the daemon.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ristretto/internal/faultinject"
+	"ristretto/internal/server"
+	"ristretto/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", ":8390", "listen address")
+	maxConcurrent := flag.Int("max-concurrent", 0, "concurrent compute requests (0 = NumCPU)")
+	queue := flag.Int("queue", 64, "admission queue depth; excess load is shed with 429")
+	deadline := flag.Duration("deadline", 15*time.Second, "default per-request deadline")
+	maxDeadline := flag.Duration("max-deadline", 2*time.Minute, "cap on client-requested deadlines")
+	maxBody := flag.Int64("max-body", 1<<20, "request body size limit in bytes")
+	breakerThreshold := flag.Duration("breaker-threshold", 250*time.Millisecond, "queue wait that degrades /v1/sim to the analytic model (negative disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 2*time.Second, "how long the breaker stays open after the last slow wait")
+	defaultScale := flag.Int("default-scale", 16, "spatial scale-down applied when a request names none")
+	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+	faultSpec := flag.String("fault", "", "fault-injection schedule for request handling (e.g. seed=7,panic=0.05,delay=0.2:5ms)")
+	version := flag.Bool("version", false, "print version and VCS info, then exit")
+	var prof telemetry.Profiler
+	prof.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+
+	if *version {
+		fmt.Println(telemetry.VersionString("ristretto-serve"))
+		return
+	}
+	log.SetPrefix("ristretto-serve: ")
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	spec, err := faultinject.ParseSpec(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+	var sched *faultinject.Schedule
+	if !spec.Zero() {
+		sched = faultinject.New(spec)
+		log.Printf("fault injection armed: %q", *faultSpec)
+	}
+
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+
+	srv := server.New(server.Config{
+		MaxConcurrent:    *maxConcurrent,
+		MaxQueue:         *queue,
+		DefaultDeadline:  *deadline,
+		MaxDeadline:      *maxDeadline,
+		MaxBodyBytes:     *maxBody,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		DefaultScale:     *defaultScale,
+		Fault:            sched,
+	})
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("listening on %s", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigs:
+		log.Printf("received %v: draining (in-flight: %d, grace %v)", sig, srv.QueueDepth(), *drainGrace)
+	case err := <-serveErr:
+		fatal(err) // listener died before any signal
+	}
+
+	// Graceful drain: readiness flips first so load balancers stop sending,
+	// then Shutdown closes the listener and waits for in-flight requests.
+	srv.StartDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	code := 0
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+		code = 1
+	} else {
+		log.Printf("drained cleanly")
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve error: %v", err)
+		code = 1
+	}
+	if err := prof.Stop(); err != nil {
+		log.Printf("profiler stop: %v", err)
+	}
+	os.Exit(code)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ristretto-serve:", err)
+	os.Exit(1)
+}

@@ -122,6 +122,11 @@ func (b *Bench) scaled(n *model.Network) *model.Network {
 	return s
 }
 
+// Scaled exposes the bench's spatial scaling — the exact geometry Stats
+// measures. The serving layer uses it to resolve the scaled shape of a
+// single layer before driving the cycle-accurate core simulator on it.
+func (b *Bench) Scaled(n *model.Network) *model.Network { return b.scaled(n) }
+
 func clampDim(d, k, stride, pad int) int {
 	min := k + stride // guarantee at least a couple of output positions
 	if d < min {

@@ -1,0 +1,77 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzParseSpec hardens the -fault flag surface shared by the batch CLIs and
+// the ristretto-serve daemon: no input string may panic the parser, and any
+// accepted spec must be internally consistent (probabilities in [0,1],
+// attempts >= 1, non-negative delay) and instantiate into a schedule whose
+// hook can be exercised safely. Matches the PR 3 fuzz conventions: seeds
+// inline, corpus committed under testdata/fuzz/FuzzParseSpec.
+func FuzzParseSpec(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"seed=7,panic=0.1,transient=0.2:2,delay=0.05:10ms,kill-after=5",
+		"panic=1",
+		"transient=0.5",
+		"transient=0.5:3",
+		"delay=1:1s",
+		"seed=-3",
+		"kill-after=1",
+		"bogus",
+		"panic=2",
+		"delay=0.5",
+		"transient=0.1:0",
+		",",
+		"seed=9223372036854775807",
+		"panic=0.0000000001,delay=1:0s",
+		"delay=1:-5ms",
+		"panic=NaN",
+		"seed=7,seed=8",
+		" panic = 0.5 ",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		if spec.Panic < 0 || spec.Panic > 1 {
+			t.Fatalf("accepted panic prob %v out of [0,1] for %q", spec.Panic, s)
+		}
+		if spec.Transient < 0 || spec.Transient > 1 {
+			t.Fatalf("accepted transient prob %v out of [0,1] for %q", spec.Transient, s)
+		}
+		if spec.DelayProb < 0 || spec.DelayProb > 1 {
+			t.Fatalf("accepted delay prob %v out of [0,1] for %q", spec.DelayProb, s)
+		}
+		if spec.TransientAttempts < 1 {
+			t.Fatalf("accepted transient attempts %d < 1 for %q", spec.TransientAttempts, s)
+		}
+		if spec.Delay < 0 {
+			t.Fatalf("accepted negative delay %v for %q", spec.Delay, s)
+		}
+		if spec.KillAfter < 0 {
+			t.Fatalf("accepted negative kill-after %d for %q", spec.KillAfter, s)
+		}
+		sched := New(spec)
+		hook := sched.Hook()
+		if spec.Zero() != (hook == nil) {
+			t.Fatalf("Zero()=%v but hook nil=%v for %q", spec.Zero(), hook == nil, s)
+		}
+		// Exercise the hook on retry attempts (attempt > 0 never injects a
+		// panic) when it cannot sleep noticeably; injected transients are the
+		// only legal error.
+		if hook != nil && (spec.DelayProb == 0 || spec.Delay <= time.Millisecond) {
+			for cell := 0; cell < 4; cell++ {
+				if err := hook(cell, 1); err != nil && !IsTransient(err) {
+					t.Fatalf("hook returned non-transient error %v for %q", err, s)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,256 @@
+// Package loadtest is an open-loop HTTP load generator for the
+// ristretto-serve daemon. Open-loop means the request clock never waits
+// for responses: requests fire at the configured rate no matter how slowly
+// the server answers, which is the arrival model that actually exposes
+// overload behaviour (a closed-loop generator self-throttles exactly when
+// the server is drowning and hides the failure mode).
+//
+// The generator is deliberately honest about its own limits: when the
+// in-flight cap is hit, the would-be request is counted as Dropped rather
+// than silently delayed, so offered load is always accountable as
+// Sent + Dropped. The chaos tests and the CI serve job use the Report to
+// assert the daemon sheds (429), degrades (degraded=true) and keeps
+// answering health checks at saturation.
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"ristretto/internal/telemetry"
+)
+
+// Target is one weighted request template in the traffic mix.
+type Target struct {
+	Name   string // label in the report, e.g. "model"
+	Path   string // request path, e.g. "/v1/model"
+	Body   string // JSON body
+	Weight int    // relative pick probability (>= 1)
+}
+
+// Config describes one load run.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8390".
+	BaseURL string
+	// RPS is the open-loop arrival rate (> 0).
+	RPS float64
+	// Duration is how long to keep offering load (> 0).
+	Duration time.Duration
+	// Timeout bounds each request; 0 = 10s.
+	Timeout time.Duration
+	// MaxInFlight caps concurrent requests; arrivals beyond it are counted
+	// as Dropped instead of queued (the clock never blocks). 0 = 1024.
+	MaxInFlight int
+	// Seed drives the target mix picks (deterministic arrival sequence).
+	Seed int64
+	// Targets is the traffic mix (required, weights >= 1).
+	Targets []Target
+	// Client overrides the HTTP client (tests); nil builds one from
+	// Timeout.
+	Client *http.Client
+}
+
+// Report is the outcome of one run.
+type Report struct {
+	Offered         int64            `json:"offered"`  // ticks of the arrival clock
+	Sent            int64            `json:"sent"`     // requests actually fired
+	Dropped         int64            `json:"dropped"`  // arrivals over the in-flight cap
+	Completed       int64            `json:"completed"`
+	Status          map[string]int64 `json:"status"` // "200" → count
+	ByTarget        map[string]int64 `json:"by_target"`
+	Degraded        int64            `json:"degraded"` // 200s flagged degraded=true
+	TransportErrors int64            `json:"transport_errors"`
+	LatencyMSP50    float64          `json:"latency_ms_p50"`
+	LatencyMSP95    float64          `json:"latency_ms_p95"`
+	LatencyMSP99    float64          `json:"latency_ms_p99"`
+	LatencyMSMax    float64          `json:"latency_ms_max"`
+	Elapsed         time.Duration    `json:"elapsed_ns"`
+}
+
+// String renders the report as an aligned human-readable summary.
+func (r *Report) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "offered %d  sent %d  dropped %d  completed %d  transport-errors %d\n",
+		r.Offered, r.Sent, r.Dropped, r.Completed, r.TransportErrors)
+	codes := make([]string, 0, len(r.Status))
+	for c := range r.Status {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	for _, c := range codes {
+		fmt.Fprintf(&b, "  status %s: %d\n", c, r.Status[c])
+	}
+	names := make([]string, 0, len(r.ByTarget))
+	for n := range r.ByTarget {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  target %s: %d\n", n, r.ByTarget[n])
+	}
+	fmt.Fprintf(&b, "  degraded responses: %d\n", r.Degraded)
+	fmt.Fprintf(&b, "  latency ms: p50=%.1f p95=%.1f p99=%.1f max=%.1f\n",
+		r.LatencyMSP50, r.LatencyMSP95, r.LatencyMSP99, r.LatencyMSMax)
+	return b.String()
+}
+
+// degradedProbe is the minimal response shape the generator inspects.
+type degradedProbe struct {
+	Degraded bool `json:"degraded"`
+}
+
+// Run offers cfg.RPS requests per second against cfg.BaseURL for
+// cfg.Duration (or until ctx is done) and returns the aggregated report.
+// The arrival schedule and target picks are deterministic in cfg.Seed; the
+// outcomes of course are not.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("loadtest: BaseURL required")
+	}
+	if cfg.RPS <= 0 {
+		return nil, fmt.Errorf("loadtest: RPS %v must be > 0", cfg.RPS)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadtest: Duration %v must be > 0", cfg.Duration)
+	}
+	if len(cfg.Targets) == 0 {
+		return nil, errors.New("loadtest: at least one target required")
+	}
+	totalWeight := 0
+	for _, t := range cfg.Targets {
+		if t.Weight < 1 {
+			return nil, fmt.Errorf("loadtest: target %q weight %d must be >= 1", t.Name, t.Weight)
+		}
+		totalWeight += t.Weight
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 1024
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.Timeout}
+	}
+
+	rep := &Report{Status: map[string]int64{}, ByTarget: map[string]int64{}}
+	var mu sync.Mutex // guards rep maps and scalar tallies
+	var lat telemetry.Histogram
+	var wg sync.WaitGroup
+	inflight := make(chan struct{}, cfg.MaxInFlight)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	pick := func() *Target {
+		w := rng.Intn(totalWeight)
+		for i := range cfg.Targets {
+			if w -= cfg.Targets[i].Weight; w < 0 {
+				return &cfg.Targets[i]
+			}
+		}
+		return &cfg.Targets[len(cfg.Targets)-1]
+	}
+
+	fire := func(t *Target) {
+		defer wg.Done()
+		defer func() { <-inflight }()
+		start := time.Now()
+		req, err := http.NewRequest(http.MethodPost, cfg.BaseURL+t.Path, bytes.NewReader([]byte(t.Body)))
+		if err != nil {
+			mu.Lock()
+			rep.TransportErrors++
+			mu.Unlock()
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		elapsed := time.Since(start)
+		mu.Lock()
+		defer mu.Unlock()
+		rep.Completed++
+		if err != nil {
+			rep.TransportErrors++
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		lat.Observe(elapsed.Nanoseconds())
+		rep.Status[strconv.Itoa(resp.StatusCode)]++
+		rep.ByTarget[t.Name]++
+		if resp.StatusCode == http.StatusOK {
+			var p degradedProbe
+			if json.Unmarshal(body, &p) == nil && p.Degraded {
+				rep.Degraded++
+			}
+		}
+	}
+
+	interval := time.Duration(float64(time.Second) / cfg.RPS)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.NewTimer(cfg.Duration)
+	defer deadline.Stop()
+	startAll := time.Now()
+
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-deadline.C:
+			break loop
+		case <-ticker.C:
+			rep.Offered++
+			t := pick()
+			select {
+			case inflight <- struct{}{}:
+				rep.Sent++
+				wg.Add(1)
+				go fire(t)
+			default:
+				rep.Dropped++ // open loop: never block the clock
+			}
+		}
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(startAll)
+	rep.LatencyMSP50 = lat.Quantile(0.50) / 1e6
+	rep.LatencyMSP95 = lat.Quantile(0.95) / 1e6
+	rep.LatencyMSP99 = lat.Quantile(0.99) / 1e6
+	rep.LatencyMSMax = float64(lat.Summary().Max) / 1e6
+	return rep, nil
+}
+
+// DefaultMix builds the standard traffic mix against the daemon for the
+// given workload parameters. Weights: mostly cheap model queries, a
+// sprinkle of expensive sims, some quant sweeps and conformance probes —
+// roughly the shape a fleet of analysis dashboards would generate.
+func DefaultMix(net, layer, precision string, scale int, seed int64) []Target {
+	simPrecision := precision
+	if _, ok := map[string]bool{"8b": true, "4b": true, "2b": true}[precision]; !ok {
+		simPrecision = "4b" // sim is uniform-precision only
+	}
+	return []Target{
+		{Name: "model", Path: "/v1/model", Weight: 6,
+			Body: fmt.Sprintf(`{"net":%q,"precision":%q,"scale":%d,"seed":%d}`, net, precision, scale, seed)},
+		{Name: "sim", Path: "/v1/sim", Weight: 1,
+			Body: fmt.Sprintf(`{"net":%q,"layer":%q,"precision":%q,"scale":%d,"seed":%d}`, net, layer, simPrecision, scale, seed)},
+		{Name: "quant", Path: "/v1/quant", Weight: 2,
+			Body: fmt.Sprintf(`{"bits":[8,4,2],"n":50000,"seed":%d}`, seed)},
+		{Name: "conformance", Path: "/v1/conformance", Weight: 1,
+			Body: fmt.Sprintf(`{"engine":"csc","cases":5,"seed":%d}`, seed)},
+	}
+}

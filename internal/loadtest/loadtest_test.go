@@ -1,0 +1,191 @@
+package loadtest
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stubServer answers each path with a fixed status/body and an optional
+// per-request delay, so report accounting can be asserted exactly.
+func stubServer(delay time.Duration, routes map[string]struct {
+	status int
+	body   string
+}) *httptest.Server {
+	mux := http.NewServeMux()
+	for path, r := range routes {
+		r := r
+		mux.HandleFunc(path, func(w http.ResponseWriter, _ *http.Request) {
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(r.status)
+			w.Write([]byte(r.body))
+		})
+	}
+	return httptest.NewServer(mux)
+}
+
+func TestRunAccounting(t *testing.T) {
+	ts := stubServer(0, map[string]struct {
+		status int
+		body   string
+	}{
+		"/v1/model": {200, `{"degraded":false}`},
+		"/v1/sim":   {200, `{"degraded":true}`},
+		"/v1/quant": {429, `{"error":"overloaded"}`},
+	})
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		RPS:      400,
+		Duration: 300 * time.Millisecond,
+		Seed:     3,
+		Targets: []Target{
+			{Name: "model", Path: "/v1/model", Body: `{}`, Weight: 2},
+			{Name: "sim", Path: "/v1/sim", Body: `{}`, Weight: 1},
+			{Name: "quant", Path: "/v1/quant", Body: `{}`, Weight: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Offered == 0 || rep.Sent == 0 {
+		t.Fatalf("no load offered: %+v", rep)
+	}
+	if rep.Sent+rep.Dropped != rep.Offered {
+		t.Fatalf("offered %d != sent %d + dropped %d", rep.Offered, rep.Sent, rep.Dropped)
+	}
+	if rep.Completed != rep.Sent {
+		t.Fatalf("completed %d != sent %d", rep.Completed, rep.Sent)
+	}
+	if rep.TransportErrors != 0 {
+		t.Fatalf("transport errors against live stub: %d", rep.TransportErrors)
+	}
+	var statusTotal int64
+	for _, n := range rep.Status {
+		statusTotal += n
+	}
+	if statusTotal != rep.Completed {
+		t.Fatalf("status tally %d != completed %d", statusTotal, rep.Completed)
+	}
+	// Every sim answer is flagged degraded, every quant is a 429.
+	if rep.Degraded != rep.ByTarget["sim"] {
+		t.Fatalf("degraded %d != sim responses %d", rep.Degraded, rep.ByTarget["sim"])
+	}
+	if rep.Status["429"] != rep.ByTarget["quant"] {
+		t.Fatalf("429s %d != quant responses %d", rep.Status["429"], rep.ByTarget["quant"])
+	}
+	if rep.LatencyMSMax < 0 || rep.LatencyMSP99 < rep.LatencyMSP50 {
+		t.Fatalf("implausible latency summary: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "status 200") {
+		t.Fatalf("report text missing status line:\n%s", rep.String())
+	}
+}
+
+// TestRunOpenLoopDrops proves the clock never blocks: with a 1-request
+// in-flight cap against a slow server, overflow arrivals are dropped and
+// accounted, not queued.
+func TestRunOpenLoopDrops(t *testing.T) {
+	ts := stubServer(150*time.Millisecond, map[string]struct {
+		status int
+		body   string
+	}{
+		"/v1/model": {200, `{}`},
+	})
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		RPS:         200,
+		Duration:    300 * time.Millisecond,
+		MaxInFlight: 1,
+		Seed:        1,
+		Targets:     []Target{{Name: "model", Path: "/v1/model", Body: `{}`, Weight: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped == 0 {
+		t.Fatalf("no drops with in-flight cap 1 against a 150ms server: %+v", rep)
+	}
+	if rep.Sent+rep.Dropped != rep.Offered {
+		t.Fatalf("offered %d != sent %d + dropped %d", rep.Offered, rep.Sent, rep.Dropped)
+	}
+}
+
+func TestRunCancel(t *testing.T) {
+	ts := stubServer(0, map[string]struct {
+		status int
+		body   string
+	}{
+		"/v1/model": {200, `{}`},
+	})
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	rep, err := Run(ctx, Config{
+		BaseURL:  ts.URL,
+		RPS:      50,
+		Duration: time.Hour, // the context, not the duration, ends the run
+		Seed:     1,
+		Targets:  []Target{{Name: "model", Path: "/v1/model", Body: `{}`, Weight: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled run took %v", elapsed)
+	}
+	if rep.Offered == 0 {
+		t.Fatal("cancelled run offered nothing")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	valid := Config{
+		BaseURL:  "http://127.0.0.1:1",
+		RPS:      1,
+		Duration: time.Millisecond,
+		Targets:  []Target{{Name: "m", Path: "/", Body: `{}`, Weight: 1}},
+	}
+	for name, mutate := range map[string]func(*Config){
+		"no base url": func(c *Config) { c.BaseURL = "" },
+		"bad rps":     func(c *Config) { c.RPS = 0 },
+		"bad dur":     func(c *Config) { c.Duration = 0 },
+		"no targets":  func(c *Config) { c.Targets = nil },
+		"bad weight":  func(c *Config) { c.Targets = []Target{{Name: "m", Weight: 0}} },
+	} {
+		cfg := valid
+		mutate(&cfg)
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("%s: Run accepted invalid config", name)
+		}
+	}
+}
+
+func TestDefaultMix(t *testing.T) {
+	targets := DefaultMix("AlexNet", "conv2", "mix2/4", 16, 7)
+	if len(targets) != 4 {
+		t.Fatalf("DefaultMix has %d targets, want 4", len(targets))
+	}
+	for _, tgt := range targets {
+		if tgt.Weight < 1 || tgt.Path == "" || tgt.Body == "" {
+			t.Fatalf("bad target: %+v", tgt)
+		}
+		if tgt.Name == "sim" && !strings.Contains(tgt.Body, `"4b"`) {
+			t.Fatalf("sim target did not fall back to uniform precision: %s", tgt.Body)
+		}
+		if tgt.Name == "model" && !strings.Contains(tgt.Body, "mix2/4") {
+			t.Fatalf("model target lost the mixed precision: %s", tgt.Body)
+		}
+	}
+}

@@ -400,3 +400,40 @@ func TestAsCellErrors(t *testing.T) {
 		t.Fatalf("aggregate message %q", multi.Error())
 	}
 }
+
+// TestBackoffCancelPrompt is the regression guard for context-aware retry
+// backoff: cancelling the context while a cell sleeps between attempts must
+// abort the sleep immediately — not wait out the full (here: 10s) backoff —
+// and surface the cell's failure.
+func TestBackoffCancelPrompt(t *testing.T) {
+	cctx, cancel := context.WithCancel(context.Background())
+	errTransient := errors.New("transient")
+	attempts := atomic.Int64{}
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := MapCfg(cctx, Serial(), Cfg{
+		Retries:   5,
+		Backoff:   10 * time.Second,
+		Retryable: func(error) bool { return true },
+	}, 1, func(i int) (int, error) {
+		attempts.Add(1)
+		return 0, errTransient
+	})
+	elapsed := time.Since(start)
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation did not abort the backoff sleep: returned after %v", elapsed)
+	}
+	if err == nil {
+		t.Fatal("cancelled retry loop reported success")
+	}
+	ces := AsCellErrors(err)
+	if len(ces) != 1 || !errors.Is(ces[0], errTransient) {
+		t.Fatalf("expected the cell's transient failure, got %v", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("cell ran %d attempts; cancellation mid-backoff should stop after the first", got)
+	}
+}

@@ -1,0 +1,114 @@
+package server
+
+// This file holds admission control and the degradation circuit breaker:
+// the two mechanisms that keep the daemon standing when offered load
+// exceeds capacity. The admission gate bounds both concurrency (worker
+// slots) and the waiting line (queue cap) so memory stays
+// O(MaxConcurrent + MaxQueue) no matter how hard clients push — excess
+// requests are shed synchronously with 429. The breaker watches how long
+// admitted requests waited for a slot; once that queue latency crosses the
+// configured threshold the expensive cycle-accurate simulations are
+// answered by the analytic model instead (flagged degraded), trading
+// fidelity for throughput exactly the way the paper's analytic model
+// stands in for the simulators.
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// errShed is returned by admit when the waiting line is full; it maps to
+// 429 + Retry-After at the HTTP layer.
+var errShed = errors.New("server: queue full, request shed")
+
+// admission is a bounded two-stage gate: at most MaxConcurrent requests
+// hold a worker slot, at most MaxQueue more wait for one. Everything beyond
+// that is shed immediately — never buffered.
+type admission struct {
+	slots    chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+	inflight atomic.Int64
+}
+
+func newAdmission(workers, queue int) *admission {
+	return &admission{slots: make(chan struct{}, workers), maxQueue: int64(queue)}
+}
+
+// admit blocks until a worker slot frees, the queue overflows (errShed), or
+// ctx is done. On success it returns the release function and how long the
+// request waited in the queue — the breaker's input signal.
+func (a *admission) admit(ctx context.Context) (release func(), wait time.Duration, err error) {
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return nil, 0, errShed
+	}
+	start := time.Now()
+	select {
+	case a.slots <- struct{}{}:
+		a.queued.Add(-1)
+		a.inflight.Add(1)
+		return func() {
+			a.inflight.Add(-1)
+			<-a.slots
+		}, time.Since(start), nil
+	case <-ctx.Done():
+		a.queued.Add(-1)
+		return nil, time.Since(start), ctx.Err()
+	}
+}
+
+// depth reports queued + in-flight requests: the bounded quantity the
+// overload tests assert on and /metrics exposes as the queue-depth gauge.
+func (a *admission) depth() int64 { return a.queued.Load() + a.inflight.Load() }
+
+// Inflight reports requests currently holding a worker slot.
+func (a *admission) Inflight() int64 { return a.inflight.Load() }
+
+// breaker is a time-based degradation circuit breaker. A queue wait at or
+// above threshold opens it for cooldown; while open, sim requests take the
+// analytic path. Expiry is the half-open probe: the first slow wait after
+// cooldown re-opens it, a fast one leaves it closed. threshold <= 0
+// disables the breaker entirely.
+type breaker struct {
+	threshold time.Duration
+	cooldown  time.Duration
+	openUntil atomic.Int64 // unix nanos; 0 = closed
+	trips     atomic.Int64
+}
+
+func newBreaker(threshold, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// observe feeds one admitted request's queue wait into the breaker.
+func (b *breaker) observe(wait time.Duration) {
+	if b.threshold <= 0 || wait < b.threshold {
+		return
+	}
+	now := time.Now()
+	until := now.Add(b.cooldown).UnixNano()
+	for {
+		cur := b.openUntil.Load()
+		if until <= cur {
+			return // an earlier observation already opened further
+		}
+		if b.openUntil.CompareAndSwap(cur, until) {
+			if cur < now.UnixNano() {
+				b.trips.Add(1) // closed → open transition
+			}
+			return
+		}
+	}
+}
+
+// open reports whether the breaker currently routes sim requests to the
+// analytic model.
+func (b *breaker) open() bool {
+	return b.threshold > 0 && time.Now().UnixNano() < b.openUntil.Load()
+}
+
+// Trips reports closed→open transitions, for /metrics.
+func (b *breaker) Trips() int64 { return b.trips.Load() }

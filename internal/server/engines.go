@@ -1,0 +1,227 @@
+package server
+
+// This file adapts the repository's engines to request/response form. Every
+// function here runs inside the execute envelope (admission slot held,
+// deadline armed, panics isolated into runner CellErrors), so the engines
+// stay oblivious to HTTP.
+
+import (
+	"context"
+	"math/rand"
+
+	"ristretto/internal/atom"
+	"ristretto/internal/balance"
+	"ristretto/internal/baselines/bitfusion"
+	"ristretto/internal/baselines/laconic"
+	"ristretto/internal/baselines/scnn"
+	"ristretto/internal/baselines/snap"
+	"ristretto/internal/baselines/sparten"
+	"ristretto/internal/conformance"
+	"ristretto/internal/energy"
+	"ristretto/internal/experiments"
+	"ristretto/internal/model"
+	"ristretto/internal/quant"
+	"ristretto/internal/ristretto"
+	"ristretto/internal/workload"
+)
+
+func balancePolicy(name string) balance.Policy {
+	switch name {
+	case "w":
+		return balance.WeightOnly
+	case "none":
+		return balance.None
+	default:
+		return balance.WeightAct
+	}
+}
+
+func energySplit(m energy.Model, c energy.Counters) EnergyPJ {
+	s := m.Split(c)
+	return EnergyPJ{ComputePJ: s.ComputePJ, OnChipPJ: s.OnChipPJ, DRAMPJ: s.OffChipPJ, TotalPJ: s.Total()}
+}
+
+// scaledLayer resolves a layer's geometry at the bench scale — the same
+// shape b.Stats measures and the sim endpoint simulates.
+func scaledLayer(seed int64, scale int, n *model.Network, layerName string) model.Layer {
+	b := experiments.NewQuickBench(seed, scale)
+	l, _ := b.Scaled(n).Layer(layerName) // existence validated with the request
+	return l
+}
+
+// runModel answers a model request with the analytic estimator — the same
+// computation ristretto-sim performs, minus the printing.
+func (s *Server) runModel(_ context.Context, req *ModelRequest) (*ModelResponse, error) {
+	b := experiments.NewQuickBench(req.Seed, req.Scale)
+	b.Nets = []string{req.Net}
+	n := b.Networks()[0]
+	stats := b.Stats(n, req.Precision, atom.Granularity(req.Gran))
+
+	m := energy.Default()
+	var cycles int64
+	var cnt energy.Counters
+	switch req.Accel {
+	case "ristretto", "ristretto-ns":
+		cfg := ristretto.Config{
+			Tiles:  req.Tiles,
+			Tile:   ristretto.TileConfig{Mults: req.Mults, Gran: atom.Granularity(req.Gran)},
+			Policy: balancePolicy(req.Balance),
+			Dense:  req.Accel == "ristretto-ns",
+		}
+		perf := ristretto.EstimateNetwork(stats, cfg)
+		cycles, cnt = perf.Cycles, perf.Counters
+		m = energy.ModelForGranularity(req.Gran)
+	case "bitfusion":
+		cycles, cnt = bitfusion.EstimateNetwork(stats, bitfusion.DefaultConfig())
+	case "laconic":
+		cycles, cnt = laconic.EstimateNetwork(stats, laconic.DefaultConfig())
+	case "laconic-mod":
+		cycles, cnt = laconic.EstimateNetworkModified(stats, laconic.DefaultConfig())
+	case "sparten":
+		cycles, cnt = sparten.EstimateNetwork(stats, sparten.DefaultConfig())
+	case "sparten-mp":
+		cycles, cnt = sparten.EstimateNetwork(stats, sparten.Config{CUs: 32, MP: true})
+	case "scnn":
+		cycles, cnt = scnn.EstimateNetwork(stats, scnn.DefaultConfig())
+	case "snap":
+		cycles, cnt = snap.EstimateNetwork(stats, snap.DefaultConfig())
+	}
+	return &ModelResponse{
+		Net:       req.Net,
+		Accel:     req.Accel,
+		Precision: req.Precision,
+		Layers:    len(n.Layers),
+		MACs:      n.MACs(),
+		Cycles:    cycles,
+		MS:        float64(cycles) / 500e3,
+		Energy:    energySplit(m, cnt),
+		DRAMBytes: cnt.DRAMBytes,
+		Engine:    "analytic",
+	}, nil
+}
+
+// simOperands synthesizes the layer workload a sim request names. The seed
+// derivation folds in every identifying label so distinct requests get
+// decorrelated operands while identical requests stay bit-reproducible.
+func simOperands(req *SimRequest) *workload.Gen {
+	return workload.NewGen(workload.DeriveSeed(req.Seed, "serve-sim", req.Net, req.Layer, req.Precision))
+}
+
+// runSimCore answers a sim request with the cycle-accurate lockstep core
+// simulator — the expensive, faithful rung of the degradation ladder.
+func (s *Server) runSimCore(_ context.Context, req *SimRequest) (*SimResponse, error) {
+	bits, _ := precisionBits(req.Precision)
+	n, _ := model.ByName(req.Net)
+	l := scaledLayer(req.Seed, req.Scale, n, req.Layer)
+	g := simOperands(req)
+	f, k := g.LayerOperands(l, bits, bits, workload.EvalTargets(req.Net, bits, bits))
+	cfg := ristretto.CoreSimConfig{
+		Tiles:  req.Tiles,
+		Tile:   ristretto.TileConfig{Mults: req.Mults, Gran: atom.Granularity(req.Gran)},
+		TileW:  req.TileW,
+		TileH:  req.TileH,
+		Policy: balancePolicy(req.Balance),
+	}
+	res := ristretto.SimulateCore(f, k, l.Stride, l.Pad, cfg)
+	var busy int64
+	for _, b := range res.TileBusy {
+		busy += b
+	}
+	util := 0.0
+	if res.Cycles > 0 && len(res.TileBusy) > 0 {
+		util = float64(busy) / float64(res.Cycles*int64(len(res.TileBusy)))
+	}
+	return &SimResponse{
+		Net:         req.Net,
+		Layer:       req.Layer,
+		Precision:   req.Precision,
+		Cycles:      res.Cycles,
+		Utilization: util,
+		DrainWait:   res.DrainWait,
+		LoadCycles:  res.LoadCycles,
+		Stalls:      res.Stalls,
+		Conflicts:   res.Conflicts,
+		Energy:      energySplit(energy.ModelForGranularity(req.Gran), res.Counters),
+		Engine:      "core-sim",
+	}, nil
+}
+
+// runSimAnalytic is the degraded rung: the analytic latency model over the
+// same synthesized layer, orders of magnitude cheaper than the cycle loop.
+// Responses carry degraded=true so clients can tell fidelity dropped.
+func (s *Server) runSimAnalytic(_ context.Context, req *SimRequest) (*SimResponse, error) {
+	bits, _ := precisionBits(req.Precision)
+	n, _ := model.ByName(req.Net)
+	l := scaledLayer(req.Seed, req.Scale, n, req.Layer)
+	g := simOperands(req)
+	st := g.LayerStats(l, bits, bits, atom.Granularity(req.Gran), workload.EvalTargets(req.Net, bits, bits), true)
+	cfg := ristretto.Config{
+		Tiles:  req.Tiles,
+		Tile:   ristretto.TileConfig{Mults: req.Mults, Gran: atom.Granularity(req.Gran)},
+		Policy: balancePolicy(req.Balance),
+	}
+	lp := ristretto.EstimateLayer(st, cfg)
+	return &SimResponse{
+		Net:         req.Net,
+		Layer:       req.Layer,
+		Precision:   req.Precision,
+		Cycles:      lp.Cycles,
+		Utilization: lp.Utilization,
+		Energy:      energySplit(energy.ModelForGranularity(req.Gran), lp.Counters),
+		Engine:      "analytic",
+		Degraded:    true,
+	}, nil
+}
+
+// runQuant answers a quant request with the statistical quantization sweep
+// behind Figure 1 (see cmd/ristretto-quant).
+func (s *Server) runQuant(_ context.Context, req *QuantRequest) (*QuantResponse, error) {
+	rng := rand.New(rand.NewSource(req.Seed))
+	raw := make([]float64, req.N)
+	for i := range raw {
+		raw[i] = rng.NormFloat64()
+	}
+	g := atom.Granularity(req.Gran)
+	resp := &QuantResponse{N: req.N, Gran: req.Gran}
+	for _, bits := range req.Bits {
+		w := quant.QuantizeSigned(raw, 1, quant.Config{Bits: bits, ClipSigma: quant.DefaultWeightClip(bits)})
+		a := quant.QuantizeUnsigned(raw, 1, quant.Config{Bits: bits, ClipSigma: quant.DefaultActClip(bits)})
+		if req.PruneW > 0 {
+			quant.PruneToDensity(w, req.PruneW)
+		}
+		if req.PruneA > 0 {
+			quant.PruneToDensity(a, req.PruneA)
+		}
+		ws := quant.Measure(w, bits, g)
+		as := quant.Measure(a, bits, g)
+		resp.Rows = append(resp.Rows, QuantRow{
+			Bits:    bits,
+			Weights: QuantStats{ValueDensity: ws.ValueDensity, AtomDensity: ws.AtomDensity, StreamAtoms: ws.NonZeroAtoms, DenseAtoms: ws.DenseAtoms},
+			Acts:    QuantStats{ValueDensity: as.ValueDensity, AtomDensity: as.AtomDensity, StreamAtoms: as.NonZeroAtoms, DenseAtoms: as.DenseAtoms},
+		})
+	}
+	return resp, nil
+}
+
+// runConformance answers a conformance request by replaying a slice of the
+// differential sweep — a live spot-check that the engines still agree with
+// the reference, useful as a deep health probe.
+func (s *Server) runConformance(_ context.Context, req *ConformanceRequest) (*ConformanceResponse, error) {
+	var engines []conformance.Engine
+	if req.Engine == "" || req.Engine == "all" {
+		engines = conformance.All()
+	} else {
+		e, _ := conformance.ByName(req.Engine) // validated with the request
+		engines = []conformance.Engine{e}
+	}
+	resp := &ConformanceResponse{OK: true}
+	for _, rep := range conformance.Sweep(engines, req.Seed, req.Cases, false) {
+		r := ConformanceReport{Engine: rep.Engine, Analytic: rep.Analytic, Cases: rep.Cases, Failures: len(rep.Failures)}
+		if len(rep.Failures) > 0 {
+			resp.OK = false
+			r.FirstFailure = rep.Failures[0].Mismatch.Error()
+		}
+		resp.Reports = append(resp.Reports, r)
+	}
+	return resp, nil
+}

@@ -1,0 +1,458 @@
+// Package server is the hardened HTTP/JSON serving layer over the
+// repository's engines: the analytic performance model, the cycle-accurate
+// core simulator, the quantization sweep and the differential conformance
+// harness, exposed as request/response endpoints by cmd/ristretto-serve.
+//
+// The robustness layer wraps every compute endpoint the same way:
+//
+//   - strict request validation with a body-size limit (unknown fields and
+//     out-of-range parameters are 400s, oversized bodies 413s);
+//   - admission control over a bounded queue — at most MaxConcurrent
+//     requests compute, at most MaxQueue wait, everything beyond is shed
+//     synchronously with 429 + Retry-After so memory stays bounded at
+//     saturation;
+//   - per-request deadlines propagated via context and enforced by the
+//     runner's per-cell timeout;
+//   - per-request panic isolation: the work runs as a one-cell
+//     runner.MapCfg call, so a panicking engine (or injected fault) is
+//     recovered into a *runner.CellError and answered with 500 while the
+//     process stays up;
+//   - a circuit breaker watching queue latency: when admitted requests
+//     wait longer than the threshold, /v1/sim degrades from the cycle
+//     simulator to the analytic model, flagged degraded=true — the paper's
+//     own fidelity/throughput trade-off as a load-shedding valve;
+//   - graceful drain: StartDrain flips /readyz to 503 and rejects new
+//     compute work while in-flight requests finish.
+//
+// /healthz, /readyz and /metrics are backed by internal/telemetry;
+// /metrics reports per-endpoint counters and latency histograms with
+// p50/p95/p99, the shed/degrade/panic counters and the queue-depth gauge.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"ristretto/internal/faultinject"
+	"ristretto/internal/runner"
+	"ristretto/internal/telemetry"
+)
+
+// Config tunes the robustness envelope. The zero value of every field
+// selects a production-sane default (see withDefaults).
+type Config struct {
+	// MaxConcurrent bounds requests computing simultaneously (the worker
+	// slots feeding the runner pool). 0 = NumCPU.
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for a slot; excess load is shed
+	// with 429. 0 = 64.
+	MaxQueue int
+	// DefaultDeadline bounds a request that names no deadline_ms; 0 = 15s.
+	DefaultDeadline time.Duration
+	// MaxDeadline caps client-requested deadlines; 0 = 2m.
+	MaxDeadline time.Duration
+	// MaxBodyBytes caps request bodies; 0 = 1 MiB.
+	MaxBodyBytes int64
+	// BreakerThreshold is the queue wait that opens the degradation
+	// breaker; 0 = 250ms. Negative disables degradation.
+	BreakerThreshold time.Duration
+	// BreakerCooldown is how long the breaker stays open after the last
+	// threshold crossing; 0 = 2s.
+	BreakerCooldown time.Duration
+	// DefaultScale is the spatial scale-down applied when a request names
+	// none; 0 = 16 (quick-bench sizing, keeps default requests snappy).
+	DefaultScale int
+	// MaxSimValues caps the operand volume of one sim request; 0 = 1<<24.
+	MaxSimValues int64
+	// MaxQuantSamples caps one quant request's population; 0 = 2_000_000.
+	MaxQuantSamples int64
+	// MaxConformanceCases caps one conformance request's sweep; 0 = 200.
+	MaxConformanceCases int
+	// Fault, when non-nil, injects the schedule into request handling:
+	// each request is one cell (in arrival order), so seed-deterministic
+	// panics/transients/delays exercise the isolation machinery under
+	// load. Nil costs nothing.
+	Fault *faultinject.Schedule
+	// Registry receives the server's metrics; nil = telemetry.Default.
+	// New enables it — a serving daemon without metrics is blind.
+	Registry *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.NumCPU()
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 15 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 2 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 250 * time.Millisecond
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.DefaultScale <= 0 {
+		c.DefaultScale = 16
+	}
+	if c.MaxSimValues <= 0 {
+		c.MaxSimValues = 1 << 24
+	}
+	if c.MaxQuantSamples <= 0 {
+		c.MaxQuantSamples = 2_000_000
+	}
+	if c.MaxConformanceCases <= 0 {
+		c.MaxConformanceCases = 200
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.Default
+	}
+	return c
+}
+
+// epMetrics are one endpoint's counters and latency histogram, resolved
+// once at construction so the request path never touches the registry map.
+type epMetrics struct {
+	requests *telemetry.Counter
+	ok       *telemetry.Counter
+	errs     *telemetry.Counter
+	latency  *telemetry.Histogram
+}
+
+// Server is the daemon's state: the admission gate, the breaker, drain
+// status and metric handles. Construct with New; serve via Handler.
+type Server struct {
+	cfg      Config
+	reg      *telemetry.Registry
+	adm      *admission
+	brk      *breaker
+	fault    func(cell, attempt int) error
+	seq      atomic.Int64
+	draining atomic.Bool
+	started  time.Time
+	ep       map[string]*epMetrics
+
+	shed         *telemetry.Counter
+	degraded     *telemetry.Counter
+	panics       *telemetry.Counter
+	timeouts     *telemetry.Counter
+	drainRejects *telemetry.Counter
+	queueWait    *telemetry.Histogram
+	queueDepth   *telemetry.Histogram
+}
+
+// New builds a server from the config and enables its metrics registry.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	r := cfg.Registry
+	r.SetEnabled(true)
+	s := &Server{
+		cfg:     cfg,
+		reg:     r,
+		adm:     newAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
+		brk:     newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		started: time.Now(),
+		ep:      map[string]*epMetrics{},
+
+		shed:         r.Counter("server.shed"),
+		degraded:     r.Counter("server.degraded"),
+		panics:       r.Counter("server.panics_recovered"),
+		timeouts:     r.Counter("server.deadline_timeouts"),
+		drainRejects: r.Counter("server.drain_rejects"),
+		queueWait:    r.Histogram("server.queue_wait_ns"),
+		queueDepth:   r.Histogram("server.queue_depth"),
+	}
+	for _, ep := range []string{"model", "sim", "quant", "conformance"} {
+		s.ep[ep] = &epMetrics{
+			requests: r.Counter("server." + ep + ".requests"),
+			ok:       r.Counter("server." + ep + ".ok"),
+			errs:     r.Counter("server." + ep + ".errors"),
+			latency:  r.Histogram("server." + ep + ".latency_ns"),
+		}
+	}
+	if cfg.Fault != nil {
+		s.fault = cfg.Fault.Hook()
+	}
+	return s
+}
+
+// Handler returns the daemon's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/model", s.handleModel)
+	mux.HandleFunc("/v1/sim", s.handleSim)
+	mux.HandleFunc("/v1/quant", s.handleQuant)
+	mux.HandleFunc("/v1/conformance", s.handleConformance)
+	return mux
+}
+
+// StartDrain begins graceful shutdown: /readyz flips to 503 and new
+// compute requests are rejected with 503 + Retry-After, while requests
+// already admitted keep running. The HTTP listener itself is closed by the
+// caller (http.Server.Shutdown), which also waits for in-flight requests.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// QueueDepth reports queued + in-flight compute requests.
+func (s *Server) QueueDepth() int64 { return s.adm.depth() }
+
+// BreakerOpen reports whether sim requests currently degrade.
+func (s *Server) BreakerOpen() bool { return s.brk.open() }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// MetricsResponse is the /metrics payload: the registry snapshot plus the
+// live gauges a scraper cannot derive from counters.
+type MetricsResponse struct {
+	UptimeSeconds float64            `json:"uptime_seconds"`
+	Draining      bool               `json:"draining"`
+	BreakerOpen   bool               `json:"breaker_open"`
+	BreakerTrips  int64              `json:"breaker_trips"`
+	QueueDepth    int64              `json:"queue_depth"`
+	Inflight      int64              `json:"inflight"`
+	Snapshot      telemetry.Snapshot `json:"snapshot"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, MetricsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Draining:      s.draining.Load(),
+		BreakerOpen:   s.brk.open(),
+		BreakerTrips:  s.brk.Trips(),
+		QueueDepth:    s.adm.depth(),
+		Inflight:      s.adm.Inflight(),
+		Snapshot:      s.reg.Snapshot(),
+	})
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	var req ModelRequest
+	if !s.decode(w, r, "model", &req) {
+		return
+	}
+	if aerr := req.validate(&s.cfg); aerr != nil {
+		s.fail(w, "model", aerr)
+		return
+	}
+	s.execute(w, r, "model", req.DeadlineMS, func(ctx context.Context) (any, error) {
+		return s.runModel(ctx, &req)
+	})
+}
+
+func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	var req SimRequest
+	if !s.decode(w, r, "sim", &req) {
+		return
+	}
+	if aerr := req.validate(&s.cfg); aerr != nil {
+		s.fail(w, "sim", aerr)
+		return
+	}
+	s.execute(w, r, "sim", req.DeadlineMS, func(ctx context.Context) (any, error) {
+		// The breaker is consulted after admission, inside the isolated
+		// cell: the queue wait this request just experienced has already
+		// been observed, so an overloaded daemon degrades the very request
+		// that found the queue slow.
+		if s.brk.open() {
+			s.degraded.Inc()
+			return s.runSimAnalytic(ctx, &req)
+		}
+		return s.runSimCore(ctx, &req)
+	})
+}
+
+func (s *Server) handleQuant(w http.ResponseWriter, r *http.Request) {
+	var req QuantRequest
+	if !s.decode(w, r, "quant", &req) {
+		return
+	}
+	if aerr := req.validate(&s.cfg); aerr != nil {
+		s.fail(w, "quant", aerr)
+		return
+	}
+	s.execute(w, r, "quant", req.DeadlineMS, func(ctx context.Context) (any, error) {
+		return s.runQuant(ctx, &req)
+	})
+}
+
+func (s *Server) handleConformance(w http.ResponseWriter, r *http.Request) {
+	var req ConformanceRequest
+	if !s.decode(w, r, "conformance", &req) {
+		return
+	}
+	if aerr := req.validate(&s.cfg); aerr != nil {
+		s.fail(w, "conformance", aerr)
+		return
+	}
+	s.execute(w, r, "conformance", req.DeadlineMS, func(ctx context.Context) (any, error) {
+		return s.runConformance(ctx, &req)
+	})
+}
+
+// decode enforces method, drain state and the strict body contract; it
+// reports false after writing the error response itself.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, ep string, req any) bool {
+	em := s.ep[ep]
+	em.requests.Inc()
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.fail(w, ep, &apiError{Status: http.StatusMethodNotAllowed, Msg: "use POST"})
+		return false
+	}
+	if s.draining.Load() {
+		s.drainRejects.Inc()
+		s.fail(w, ep, &apiError{Status: http.StatusServiceUnavailable, Msg: "server is draining", RetryAfter: 1})
+		return false
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.fail(w, ep, &apiError{Status: http.StatusRequestEntityTooLarge, Msg: fmt.Sprintf("body over %d bytes", mbe.Limit)})
+			return false
+		}
+		s.fail(w, ep, badRequest("bad request body: %v", err))
+		return false
+	}
+	if dec.More() {
+		s.fail(w, ep, badRequest("trailing data after request object"))
+		return false
+	}
+	return true
+}
+
+// execute runs one validated request through the robustness envelope:
+// admission (shed on overflow), breaker observation, deadline, and the
+// one-cell runner call that isolates panics and enforces the timeout.
+func (s *Server) execute(w http.ResponseWriter, r *http.Request, ep string, deadlineMS int64, work func(ctx context.Context) (any, error)) {
+	em := s.ep[ep]
+	start := time.Now()
+
+	release, wait, err := s.adm.admit(r.Context())
+	s.queueDepth.Observe(s.adm.depth())
+	switch {
+	case errors.Is(err, errShed):
+		s.shed.Inc()
+		s.fail(w, ep, &apiError{Status: http.StatusTooManyRequests, Msg: "overloaded: queue full", RetryAfter: 1})
+		return
+	case err != nil: // client gave up while queued
+		s.fail(w, ep, &apiError{Status: http.StatusServiceUnavailable, Msg: "request cancelled while queued", RetryAfter: 1})
+		return
+	}
+	defer release()
+	s.queueWait.Observe(wait.Nanoseconds())
+	s.brk.observe(wait)
+
+	d := s.cfg.DefaultDeadline
+	if deadlineMS > 0 {
+		d = time.Duration(deadlineMS) * time.Millisecond
+		if d > s.cfg.MaxDeadline {
+			d = s.cfg.MaxDeadline
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+
+	cfg := runner.Cfg{Timeout: d}
+	if s.fault != nil {
+		cell := int(s.seq.Add(1))
+		cfg.Fault = func(_, attempt int) error { return s.fault(cell, attempt) }
+	}
+	res, rerr := runner.MapCfg(ctx, runner.Serial(), cfg, 1, func(int) (any, error) {
+		return work(ctx)
+	})
+	if rerr != nil {
+		s.fail(w, ep, s.classify(rerr))
+		return
+	}
+	em.ok.Inc()
+	elapsed := time.Since(start)
+	em.latency.Observe(elapsed.Nanoseconds())
+	if es, ok := res[0].(elapsedSetter); ok {
+		es.setElapsed(float64(elapsed.Nanoseconds()) / 1e6)
+	}
+	writeJSON(w, http.StatusOK, res[0])
+}
+
+// classify maps a runner failure to its HTTP shape: recovered panics are
+// 500s (the request died, the process did not), deadline expiries 504s,
+// injected transients 503s, apiErrors pass through, anything else 500.
+func (s *Server) classify(err error) *apiError {
+	var ce *runner.CellError
+	if errors.As(err, &ce) {
+		switch {
+		case ce.Stack != nil:
+			s.panics.Inc()
+			log.Printf("server: recovered request panic: %v\n%s", ce.Err, ce.Stack)
+			return &apiError{Status: http.StatusInternalServerError, Msg: "internal error: request panicked (isolated; see server log)"}
+		case ce.TimedOut:
+			s.timeouts.Inc()
+			return &apiError{Status: http.StatusGatewayTimeout, Msg: "deadline exceeded"}
+		case faultinject.IsTransient(ce.Err):
+			return &apiError{Status: http.StatusServiceUnavailable, Msg: "transient fault, retry", RetryAfter: 1}
+		}
+		var ae *apiError
+		if errors.As(ce.Err, &ae) {
+			return ae
+		}
+		return &apiError{Status: http.StatusInternalServerError, Msg: ce.Err.Error()}
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.timeouts.Inc()
+		return &apiError{Status: http.StatusGatewayTimeout, Msg: "deadline exceeded"}
+	}
+	return &apiError{Status: http.StatusServiceUnavailable, Msg: err.Error(), RetryAfter: 1}
+}
+
+// fail writes an error response and bumps the endpoint's error counter.
+func (s *Server) fail(w http.ResponseWriter, ep string, aerr *apiError) {
+	if em, ok := s.ep[ep]; ok {
+		em.errs.Inc()
+	}
+	if aerr.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(aerr.RetryAfter))
+	}
+	writeJSON(w, aerr.Status, aerr)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,126 @@
+package telemetry_test
+
+import (
+	"testing"
+
+	"ristretto/internal/telemetry"
+)
+
+// TestQuantileEmpty pins the degenerate cases: no observations and
+// out-of-range q values.
+func TestQuantileEmpty(t *testing.T) {
+	var h telemetry.Histogram
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	s := h.Summary()
+	if s.P50 != 0 || s.P95 != 0 || s.P99 != 0 {
+		t.Fatalf("empty summary quantiles = %v/%v/%v, want zeros", s.P50, s.P95, s.P99)
+	}
+}
+
+// TestQuantileConstant checks a single-valued distribution: every quantile
+// estimate must land inside the value's power-of-two bucket and never exceed
+// the exact tracked max.
+func TestQuantileConstant(t *testing.T) {
+	var h telemetry.Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(1000) // bucket [512, 1023], clamped to max=1000
+	}
+	for _, q := range []float64{0.01, 0.5, 0.95, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < 512 || got > 1000 {
+			t.Fatalf("Quantile(%v) = %v, want within [512, 1000]", q, got)
+		}
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Fatalf("Quantile(1) = %v, want exact max 1000", got)
+	}
+}
+
+// TestQuantileZeros: bucket 0 holds exact zeros, so quantiles covered by it
+// are exact.
+func TestQuantileZeros(t *testing.T) {
+	var h telemetry.Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(0)
+	}
+	h.Observe(1 << 20)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("p50 of 99%% zeros = %v, want 0", got)
+	}
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("p99 of 99%% zeros = %v, want 0 (rank 99 of 100)", got)
+	}
+	if got := h.Quantile(1); got != float64(1<<20) {
+		t.Fatalf("p100 = %v, want %v", got, float64(1<<20))
+	}
+}
+
+// TestQuantileBimodal uses a known two-spike distribution where the quantile
+// ranks fall in unambiguous buckets: 90 ones and 10 thousands.
+func TestQuantileBimodal(t *testing.T) {
+	var h telemetry.Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000)
+	}
+	if got := h.Quantile(0.5); got != 1 {
+		t.Fatalf("p50 = %v, want exactly 1 (bucket [1,1])", got)
+	}
+	p95 := h.Quantile(0.95)
+	if p95 < 512 || p95 > 1000 {
+		t.Fatalf("p95 = %v, want in the 1000-spike bucket [512, 1000]", p95)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < p95 || p99 > 1000 {
+		t.Fatalf("p99 = %v, want monotone above p95=%v and <= 1000", p99, p95)
+	}
+}
+
+// TestQuantileUniform checks bucket-resolution accuracy on a uniform 1..4096
+// distribution: each estimate must be within a factor of two of the true
+// quantile (the histogram's stated resolution) and monotone in q.
+func TestQuantileUniform(t *testing.T) {
+	var h telemetry.Histogram
+	for v := int64(1); v <= 4096; v++ {
+		h.Observe(v)
+	}
+	want := map[float64]float64{0.5: 2048, 0.95: 3891, 0.99: 4055}
+	prev := 0.0
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got := h.Quantile(q)
+		if got < want[q]/2 || got > want[q]*2 {
+			t.Fatalf("Quantile(%v) = %v, want within 2x of %v", q, got, want[q])
+		}
+		if got < prev {
+			t.Fatalf("quantiles not monotone: Quantile(%v) = %v < %v", q, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestSummaryQuantilesMatch ensures Summary reports the same estimates as
+// the Quantile method for a quiescent histogram.
+func TestSummaryQuantilesMatch(t *testing.T) {
+	var h telemetry.Histogram
+	for v := int64(0); v < 1000; v += 7 {
+		h.Observe(v * v)
+	}
+	s := h.Summary()
+	for _, c := range []struct {
+		q    float64
+		want float64
+	}{{0.5, s.P50}, {0.95, s.P95}, {0.99, s.P99}} {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Fatalf("Summary/Quantile disagree at q=%v: %v vs %v", c.q, c.want, got)
+		}
+	}
+	if s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > float64(s.Max) {
+		t.Fatalf("summary quantiles not ordered: p50=%v p95=%v p99=%v max=%d", s.P50, s.P95, s.P99, s.Max)
+	}
+}

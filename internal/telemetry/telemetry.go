@@ -76,31 +76,109 @@ func (h *Histogram) Observe(v int64) {
 }
 
 // HistogramSummary is a point-in-time rollup of a Histogram, as serialized
-// into run manifests.
+// into run manifests and the serving daemon's /metrics endpoint. P50/P95/P99
+// are bucket-interpolated estimates (see Quantile), exact only up to the
+// power-of-two bucket resolution.
 type HistogramSummary struct {
 	Count   int64            `json:"count"`
 	Sum     int64            `json:"sum"`
 	Max     int64            `json:"max"`
 	Mean    float64          `json:"mean"`
+	P50     float64          `json:"p50"`
+	P95     float64          `json:"p95"`
+	P99     float64          `json:"p99"`
 	Buckets map[string]int64 `json:"buckets,omitempty"` // "≤2^i" → count, empty buckets omitted
 }
 
 // Summary rolls the histogram up. Mean is exact (sum/count); the bucket map
-// keys are upper bounds ("<=1", "<=2", "<=4", ...).
+// keys are upper bounds ("<=1", "<=2", "<=4", ...); quantiles are estimated
+// from the same bucket snapshot the map reports.
 func (h *Histogram) Summary() HistogramSummary {
+	var counts [histBuckets + 1]int64
 	s := HistogramSummary{Count: h.count.Load(), Sum: h.sum.Load(), Max: h.max.Load()}
 	if s.Count > 0 {
 		s.Mean = float64(s.Sum) / float64(s.Count)
 	}
+	var total int64
 	for i := range h.buckets {
-		if n := h.buckets[i].Load(); n > 0 {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+		if counts[i] > 0 {
 			if s.Buckets == nil {
 				s.Buckets = map[string]int64{}
 			}
-			s.Buckets[bucketLabel(i)] = n
+			s.Buckets[bucketLabel(i)] = counts[i]
 		}
 	}
+	s.P50 = quantileFromBuckets(&counts, total, s.Max, 0.50)
+	s.P95 = quantileFromBuckets(&counts, total, s.Max, 0.95)
+	s.P99 = quantileFromBuckets(&counts, total, s.Max, 0.99)
 	return s
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of the observed values by
+// linear interpolation inside the covering power-of-two bucket, clamped to
+// the recorded maximum. The estimate is exact to within one bucket (a factor
+// of two); an empty histogram reports 0. Concurrent Observe calls may skew a
+// racing estimate by the in-flight observations, never corrupt it.
+func (h *Histogram) Quantile(q float64) float64 {
+	var counts [histBuckets + 1]int64
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	return quantileFromBuckets(&counts, total, h.max.Load(), q)
+}
+
+// quantileFromBuckets resolves the q-quantile from a bucket snapshot: find
+// the bucket holding the ceil(q·total)-th smallest observation and
+// interpolate linearly across its value range [2^(i-1), 2^i - 1] (bucket 0
+// is exactly zero). The top estimate is clamped to max, which is tracked
+// exactly.
+func quantileFromBuckets(counts *[histBuckets + 1]int64, total, max int64, q float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range counts {
+		n := counts[i]
+		if n == 0 {
+			continue
+		}
+		cum += n
+		if cum < rank {
+			continue
+		}
+		if i == 0 {
+			return 0
+		}
+		lo := float64(int64(1) << (i - 1))
+		hi := float64((int64(1) << i) - 1)
+		if i >= 63 {
+			hi = float64(math.MaxInt64)
+		}
+		if m := float64(max); m > 0 && m < hi {
+			hi = m // the true bucket ceiling cannot exceed the exact max
+		}
+		frac := float64(rank-(cum-n)) / float64(n)
+		v := lo + frac*(hi-lo)
+		if m := float64(max); m > 0 && v > m {
+			v = m
+		}
+		return v
+	}
+	return float64(max)
 }
 
 // bucketLabel names bucket i: the inclusive upper bound of its range.
@@ -218,7 +296,8 @@ func (s Snapshot) String() string {
 	sort.Strings(hn)
 	for _, n := range hn {
 		h := s.Histograms[n]
-		fmt.Fprintf(&b, "%-44s count=%d mean=%.1f max=%d\n", n, h.Count, h.Mean, h.Max)
+		fmt.Fprintf(&b, "%-44s count=%d mean=%.1f p50=%.0f p95=%.0f p99=%.0f max=%d\n",
+			n, h.Count, h.Mean, h.P50, h.P95, h.P99, h.Max)
 	}
 	return b.String()
 }
