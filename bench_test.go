@@ -13,6 +13,7 @@ import (
 	"ristretto/internal/baselines/laconic"
 	"ristretto/internal/baselines/snap"
 	"ristretto/internal/baselines/sparten"
+	"ristretto/internal/benchmanifest"
 	"ristretto/internal/core"
 	"ristretto/internal/experiments"
 	"ristretto/internal/ristretto"
@@ -355,6 +356,17 @@ func BenchmarkSparTenLayerSim(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sparten.SimulateLayer(f, w, 1, 1, sparten.Config{CUs: 4})
+	}
+}
+
+// BenchmarkManifest runs the tracked micro-benchmark registry — the same
+// entries `ristretto-bench -bench-manifest` measures and commits to the
+// BENCH_*.json perf-trajectory manifests — under the standard harness:
+//
+//	go test -bench 'Manifest/' -benchmem .
+func BenchmarkManifest(b *testing.B) {
+	for _, bm := range benchmanifest.Registry() {
+		b.Run(bm.Name, bm.Fn)
 	}
 }
 

@@ -9,6 +9,19 @@
 //	                [-checkpoint path] [-resume] [-keep-going]
 //	                [-cell-timeout d] [-retries N] [-fault spec]
 //	                [-cpuprofile f] [-memprofile f] [-trace f] [-pprof addr]
+//	ristretto-bench -bench-manifest path [-bench-baseline path]
+//	                [-bench-compare path] [-bench-tolerance x]
+//	                [-bench-alloc-slack n] [-bench-scale N]
+//
+// The second form is the perf-trajectory mode (ROADMAP item 1): it runs the
+// tracked micro-benchmark suite (internal/benchmanifest.Registry) through
+// testing.Benchmark plus one end-to-end experiment-suite pass at
+// -bench-scale, and writes a ristretto.bench-manifest/v1 JSON document.
+// -bench-compare re-runs the suite and fails (exit 1) when any benchmark
+// exceeds the committed manifest's ns/op by more than -bench-tolerance× or
+// its allocs/op by more than -bench-alloc-slack; CI runs this against the
+// newest committed BENCH_*.json. -bench-baseline embeds another manifest's
+// entries as the baseline section and computes the geomean speedup.
 //
 // -scale divides layer spatial dimensions (4 ≈ 16× faster, same ratios).
 // -parallel bounds the experiment worker pool (0 = all CPUs); the output is
@@ -44,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"ristretto/internal/benchmanifest"
 	"ristretto/internal/experiments"
 	"ristretto/internal/faultinject"
 	"ristretto/internal/telemetry"
@@ -64,6 +78,12 @@ func main() {
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-experiment wall-time bound (0 = none)")
 	retries := flag.Int("retries", 0, "max re-attempts per experiment for transient errors")
 	faultSpec := flag.String("fault", "", "deterministic fault-injection spec, e.g. \"seed=7,panic=0.1,transient=0.2:2,delay=0.05:10ms,kill-after=5\"")
+	benchManifestPath := flag.String("bench-manifest", "", "run the tracked micro-benchmark suite and write a "+benchmanifest.Schema+" document to this path, then exit")
+	benchCompare := flag.String("bench-compare", "", "compare a fresh micro-benchmark run against the committed manifest at this path; exit 1 on regression")
+	benchBaseline := flag.String("bench-baseline", "", "embed this manifest's entries as the baseline section of -bench-manifest output and compute the geomean speedup")
+	benchTolerance := flag.Float64("bench-tolerance", 1.25, "ns/op regression ratio allowed by -bench-compare")
+	benchAllocSlack := flag.Int64("bench-alloc-slack", 16, "absolute allocs/op slack allowed by -bench-compare")
+	benchScale := flag.Int("bench-scale", 4, "experiment-suite scale for the bench_all wall-clock measurement")
 	version := flag.Bool("version", false, "print version and VCS info, then exit")
 	var prof telemetry.Profiler
 	prof.RegisterFlags(flag.CommandLine)
@@ -72,6 +92,9 @@ func main() {
 	if *version {
 		fmt.Println(telemetry.VersionString("ristretto-bench"))
 		return
+	}
+	if *benchManifestPath != "" || *benchCompare != "" {
+		os.Exit(runBenchSuite(*benchManifestPath, *benchCompare, *benchBaseline, *benchTolerance, *benchAllocSlack, *seed, *benchScale))
 	}
 	if *scale < 1 {
 		fatal(fmt.Errorf("invalid -scale %d: must be >= 1", *scale))
@@ -220,6 +243,72 @@ func main() {
 	if failed {
 		fatal(fmt.Errorf("one or more experiments failed"))
 	}
+}
+
+// runBenchSuite is the perf-trajectory mode: run the tracked micro-benchmark
+// registry plus one end-to-end experiment pass, optionally embed a baseline,
+// optionally gate against a committed manifest, optionally write the fresh
+// manifest. Returns the process exit code.
+func runBenchSuite(writePath, comparePath, baselinePath string, tolerance float64, allocSlack int64, seed int64, scale int) int {
+	if scale < 1 {
+		fmt.Fprintf(os.Stderr, "ristretto-bench: invalid -bench-scale %d: must be >= 1\n", scale)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "ristretto-bench: running tracked micro-benchmark suite")
+	m := benchmanifest.New("ristretto-bench")
+	m.Run(func(line string) { fmt.Println(line) })
+
+	// One end-to-end pass of the experiment suite at a recorded scale: the
+	// coarse wall-clock companion to the per-op entries.
+	start := time.Now()
+	for _, r := range experiments.NewQuickBench(seed, scale).All() {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "ristretto-bench: bench_all cell %q failed: %v\n", r.ID, r.Err)
+			return 1
+		}
+	}
+	m.BenchAllScale = scale
+	m.BenchAllWallMs = float64(time.Since(start).Nanoseconds()) / 1e6
+	fmt.Printf("%-28s %12.1f ms wall (scale %d)\n", "bench_all", m.BenchAllWallMs, scale)
+
+	if baselinePath != "" {
+		base, err := benchmanifest.Load(baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ristretto-bench:", err)
+			return 1
+		}
+		m.Baseline = base.Entries
+		m.BaselineNote = base.BaselineNote
+		m.ComputeSpeedup()
+		if m.GeomeanSpeedup > 0 {
+			m.GeomeanNote = "geomean of baseline/current ns/op over benchmarks present in both"
+			fmt.Printf("%-28s %12.2fx vs baseline\n", "geomean_speedup", m.GeomeanSpeedup)
+		}
+	}
+	if comparePath != "" {
+		committed, err := benchmanifest.Load(comparePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ristretto-bench:", err)
+			return 1
+		}
+		regs := benchmanifest.Compare(committed, m, tolerance, allocSlack)
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "ristretto-bench: REGRESSION:", r)
+			}
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "ristretto-bench: no regressions vs %s (tolerance %.2fx, alloc slack %d)\n",
+			comparePath, tolerance, allocSlack)
+	}
+	if writePath != "" {
+		if err := m.Write(writePath); err != nil {
+			fmt.Fprintln(os.Stderr, "ristretto-bench:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "ristretto-bench: benchmark manifest written to %s\n", writePath)
+	}
+	return 0
 }
 
 func writeCSV(dir string, r *experiments.Result) error {

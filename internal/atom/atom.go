@@ -72,7 +72,23 @@ func (n Granularity) ShiftRange(bits int) []int {
 // guarantees range) into its non-zero atoms, least-significant first. A zero
 // value yields no atoms. The final surviving atom carries Last=true.
 func Decompose(v int32, bits int, n Granularity) []Atom {
-	return decompose(v, bits, n, false)
+	n.Validate()
+	sign, mag := signMag(v, bits)
+	if mag >= 256 {
+		return decompose(v, bits, n, false)
+	}
+	tab := nzDigits[n-1][mag]
+	if len(tab) == 0 {
+		return nil
+	}
+	out := make([]Atom, len(tab))
+	copy(out, tab)
+	if sign {
+		for i := range out {
+			out[i].Sign = true
+		}
+	}
+	return out
 }
 
 // DecomposeDense is like Decompose but keeps zero atoms, modelling the
@@ -82,16 +98,13 @@ func DecomposeDense(v int32, bits int, n Granularity) []Atom {
 	return decompose(v, bits, n, true)
 }
 
+func panicRange(v int32, bits int) {
+	panic(fmt.Sprintf("atom: value %d does not fit in %d bits", v, bits))
+}
+
 func decompose(v int32, bits int, n Granularity, dense bool) []Atom {
 	n.Validate()
-	sign := v < 0
-	mag := uint32(v)
-	if sign {
-		mag = uint32(-v)
-	}
-	if bits <= 0 || mag >= 1<<uint(bits) {
-		panic(fmt.Sprintf("atom: value %d does not fit in %d bits", v, bits))
-	}
+	sign, mag := signMag(v, bits)
 	cnt := n.Count(bits)
 	mask := uint32(1)<<uint(n) - 1
 	var out []Atom
@@ -125,6 +138,9 @@ func CountNonZero(v int32, bits int, n Granularity) int {
 	mag := uint32(v)
 	if v < 0 {
 		mag = uint32(-v)
+	}
+	if mag < 256 {
+		return int(nzCount[n-1][mag])
 	}
 	mask := uint32(1)<<uint(n) - 1
 	cnt := 0

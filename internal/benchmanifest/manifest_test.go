@@ -1,0 +1,126 @@
+package benchmanifest
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func manifestPair() (*Manifest, *Manifest) {
+	committed := New("test")
+	committed.Entries = []Entry{
+		{Name: "a", NsPerOp: 1000, AllocsPerOp: 0},
+		{Name: "b", NsPerOp: 2000, AllocsPerOp: 10},
+	}
+	fresh := New("test")
+	fresh.Entries = []Entry{
+		{Name: "a", NsPerOp: 1100, AllocsPerOp: 0},
+		{Name: "b", NsPerOp: 2100, AllocsPerOp: 12},
+	}
+	return committed, fresh
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	committed, fresh := manifestPair()
+	if regs := Compare(committed, fresh, 1.25, 16); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestCompareFlagsSlowdown(t *testing.T) {
+	committed, fresh := manifestPair()
+	fresh.Entries[0].NsPerOp = 1300 // 1.3x > 1.25x
+	regs := Compare(committed, fresh, 1.25, 16)
+	if len(regs) != 1 || regs[0].Name != "a" || regs[0].Metric != "ns/op" {
+		t.Fatalf("want one ns/op regression on a, got %v", regs)
+	}
+}
+
+func TestCompareFlagsAllocGrowth(t *testing.T) {
+	committed, fresh := manifestPair()
+	fresh.Entries[1].AllocsPerOp = 100 // 10 -> 100 exceeds slack 16
+	regs := Compare(committed, fresh, 1.25, 16)
+	if len(regs) != 1 || regs[0].Name != "b" || regs[0].Metric != "allocs/op" {
+		t.Fatalf("want one allocs/op regression on b, got %v", regs)
+	}
+}
+
+func TestCompareFlagsMissingEntry(t *testing.T) {
+	committed, fresh := manifestPair()
+	fresh.Entries = fresh.Entries[:1]
+	regs := Compare(committed, fresh, 1.25, 16)
+	if len(regs) != 1 || regs[0].Name != "b" || regs[0].Metric != "missing" {
+		t.Fatalf("want b reported missing, got %v", regs)
+	}
+}
+
+func TestComputeSpeedupGeomean(t *testing.T) {
+	m := New("test")
+	m.Entries = []Entry{
+		{Name: "a", NsPerOp: 100},
+		{Name: "b", NsPerOp: 100},
+		{Name: "unmatched", NsPerOp: 1},
+	}
+	m.Baseline = []Entry{
+		{Name: "a", NsPerOp: 200}, // 2x
+		{Name: "b", NsPerOp: 800}, // 8x
+	}
+	m.ComputeSpeedup()
+	if want := 4.0; math.Abs(m.GeomeanSpeedup-want) > 1e-9 {
+		t.Fatalf("geomean = %v, want %v", m.GeomeanSpeedup, want)
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	m := New("test")
+	m.Entries = []Entry{{Name: "a", NsPerOp: 123.5, AllocsPerOp: 1, BytesPerOp: 2, Iterations: 7}}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || len(got.Entries) != 1 || got.Entries[0] != m.Entries[0] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestLoadRejectsWrongSchema(t *testing.T) {
+	m := New("test")
+	m.Schema = "something-else/v9"
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+// TestRegistryNamesStable pins the tracked suite: names are stable
+// identifiers (the perf trajectory diffs across manifests), so a rename or
+// drop must be a conscious decision that updates this list too.
+func TestRegistryNamesStable(t *testing.T) {
+	want := []string{
+		"tile/intersect_16x16",
+		"tile/intersect_contended",
+		"core/sim_layer_8x8x4",
+		"core/act_stream_16x16",
+		"core/weight_stream_16k",
+		"atom/decompose_sweep_8b",
+	}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	for i, bm := range reg {
+		if bm.Name != want[i] {
+			t.Fatalf("registry[%d] = %q, want %q", i, bm.Name, want[i])
+		}
+		if bm.Fn == nil {
+			t.Fatalf("registry[%d] %q has nil Fn", i, bm.Name)
+		}
+	}
+}

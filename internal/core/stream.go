@@ -22,7 +22,10 @@
 package core
 
 import (
+	"math/bits"
+
 	"ristretto/internal/atom"
+	"ristretto/internal/sparse"
 	"ristretto/internal/tensor"
 )
 
@@ -124,19 +127,50 @@ func flattenKernels(w *tensor.KernelStack, c int, outChans []int, dense bool) []
 // atom stream — phase 2, performed on the fly by the Atomizer in hardware.
 // With dense set, zero atoms of non-zero values are kept (Ristretto-ns).
 func CompressActs(elems []ActElem, bits int, n atom.Granularity, dense bool) []ActAtom {
-	var out []ActAtom
+	if dense {
+		var out []ActAtom
+		for _, e := range elems {
+			for _, a := range atom.DecomposeDense(e.Val, bits, n) {
+				out = append(out, ActAtom{Mag: a.Mag, Shift: a.Shift, Last: a.Last, X: e.X, Y: e.Y})
+			}
+		}
+		return out
+	}
+	n.Validate()
+	total := 0
 	for _, e := range elems {
-		var atoms []atom.Atom
-		if dense {
-			atoms = atom.DecomposeDense(e.Val, bits, n)
-		} else {
-			atoms = atom.Decompose(e.Val, bits, n)
-		}
-		for _, a := range atoms {
-			out = append(out, ActAtom{Mag: a.Mag, Shift: a.Shift, Last: a.Last, X: e.X, Y: e.Y})
-		}
+		total += atom.DigitCount(absMag(e.Val), n)
+	}
+	out := make([]ActAtom, 0, total)
+	for _, e := range elems {
+		out = appendActAtoms(out, e.Val, bits, n, e.X, e.Y)
 	}
 	return out
+}
+
+func absMag(v int32) uint32 {
+	if v < 0 {
+		return uint32(-v)
+	}
+	return uint32(v)
+}
+
+// appendActAtoms appends the non-zero atoms of one activation value through
+// the precomputed digit tables (generic fallback above 8-bit magnitudes).
+// Activation atoms are unsigned: a negative value contributes its magnitude
+// atoms, matching the pre-table behavior of dropping the sign bit.
+func appendActAtoms(dst []ActAtom, v int32, bits int, n atom.Granularity, x, y uint8) []ActAtom {
+	mag := absMag(v)
+	if mag < 256 && bits > 0 && (bits >= 8 || mag < 1<<uint(bits)) {
+		for _, a := range atom.Digits(mag, n) {
+			dst = append(dst, ActAtom{Mag: a.Mag, Shift: a.Shift, Last: a.Last, X: x, Y: y})
+		}
+		return dst
+	}
+	for _, a := range atom.Decompose(v, bits, n) {
+		dst = append(dst, ActAtom{Mag: a.Mag, Shift: a.Shift, Last: a.Last, X: x, Y: y})
+	}
+	return dst
 }
 
 // CompressWeights decomposes a flattened weight stream into its non-zero atom
@@ -146,45 +180,159 @@ func CompressActs(elems []ActElem, bits int, n atom.Granularity, dense bool) []A
 // channel-first so concurrent products target distinct accumulate banks.
 // Magnitudes use bits-1 bits (sign-magnitude).
 func CompressWeights(elems []WeightElem, bits int, n atom.Granularity, dense bool) []WeightAtom {
+	n.Validate()
+	if len(elems) == 0 {
+		return nil
+	}
 	slices := n.Count(bits - 1)
-	bySlice := make([][]WeightAtom, slices)
+
+	// Pass 1: per-slice atom counts and the channel-index bound, so the
+	// grouping below runs over flat scratch arrays instead of per-value
+	// slices and per-channel maps.
+	sliceCount := make([]int, slices+1)
+	maxK := uint16(0)
+	total := 0
+	var tmp []atom.Atom
 	for _, e := range elems {
-		var atoms []atom.Atom
-		if dense {
-			atoms = atom.DecomposeDense(e.Val, bits-1, n)
-		} else {
-			atoms = atom.Decompose(e.Val, bits-1, n)
+		tmp = weightDigits(tmp[:0], e.Val, bits-1, n, dense)
+		for _, a := range tmp {
+			sliceCount[int(a.Shift)/int(n)]++
+			total++
 		}
-		for _, a := range atoms {
-			s := int(a.Shift) / int(n)
-			bySlice[s] = append(bySlice[s], WeightAtom{
-				Mag: a.Mag, Shift: a.Shift, Sign: a.Sign, X: e.X, Y: e.Y, K: e.K,
-			})
+		if e.K > maxK {
+			maxK = e.K
 		}
 	}
-	var out []WeightAtom
-	for _, s := range bySlice {
-		// Channel-first: interleave by output channel so adjacent stream
-		// slots hit different accumulate banks. Stable counting sort by K
-		// position within channel, then round-robin across channels.
-		byChan := map[uint16][]WeightAtom{}
-		var order []uint16
-		for _, a := range s {
-			if _, ok := byChan[a.K]; !ok {
+
+	// Pass 2: scatter atoms into slice-major order (stable within a slice,
+	// i.e. elem order — exactly the old bySlice grouping).
+	sliceOff := make([]int, slices+1)
+	off := 0
+	for s := 0; s <= slices; s++ {
+		sliceOff[s] = off
+		off += sliceCount[s]
+		sliceCount[s] = sliceOff[s] // reuse as write cursor
+	}
+	flat := make([]WeightAtom, total)
+	for _, e := range elems {
+		sign := e.Val < 0
+		tmp = weightDigits(tmp[:0], e.Val, bits-1, n, dense)
+		for _, a := range tmp {
+			s := int(a.Shift) / int(n)
+			flat[sliceCount[s]] = WeightAtom{Mag: a.Mag, Shift: a.Shift, Sign: sign, X: e.X, Y: e.Y, K: e.K}
+			sliceCount[s]++
+		}
+	}
+
+	// Pass 3, per slice: channel-first interleave. Channels keep their
+	// first-appearance order within the slice; atoms round-robin across
+	// channels so adjacent stream slots target distinct accumulate banks
+	// (the Figure 9 stream shuffle). A counting sort over a K-indexed
+	// scratch array replaces the old per-channel map, byte-for-byte
+	// preserving the emitted order.
+	out := make([]WeightAtom, 0, total)
+	kCount := make([]int32, int(maxK)+1)
+	kOff := make([]int32, int(maxK)+1)
+	order := make([]uint16, 0, int(maxK)+1)
+	buf := make([]WeightAtom, total)
+	for s := 0; s < slices; s++ {
+		seg := flat[sliceOff[s]:sliceOff[s+1]]
+		if len(seg) == 0 {
+			continue
+		}
+		order = order[:0]
+		for _, a := range seg {
+			if kCount[a.K] == 0 {
 				order = append(order, a.K)
 			}
-			byChan[a.K] = append(byChan[a.K], a)
+			kCount[a.K]++
 		}
-		for i := 0; ; i++ {
-			emitted := false
+		pos := int32(0)
+		maxCnt := int32(0)
+		for _, k := range order {
+			kOff[k] = pos
+			pos += kCount[k]
+			if kCount[k] > maxCnt {
+				maxCnt = kCount[k]
+			}
+		}
+		for _, a := range seg {
+			buf[kOff[a.K]] = a
+			kOff[a.K]++
+		}
+		// kOff[k] now points one past channel k's bucket; rewind to start.
+		for _, k := range order {
+			kOff[k] -= kCount[k]
+		}
+		for i := int32(0); i < maxCnt; i++ {
 			for _, k := range order {
-				if i < len(byChan[k]) {
-					out = append(out, byChan[k][i])
-					emitted = true
+				if i < kCount[k] {
+					out = append(out, buf[kOff[k]+i])
 				}
 			}
-			if !emitted {
-				break
+		}
+		for _, k := range order {
+			kCount[k] = 0
+		}
+	}
+	return out
+}
+
+// weightDigits appends the atoms of one weight magnitude to dst: the table
+// fast path for <8-bit magnitudes in sparse mode, atom.Decompose/
+// DecomposeDense otherwise. Sign is applied by the caller (sign-magnitude:
+// every atom of a value shares its sign).
+func weightDigits(dst []atom.Atom, v int32, magBits int, n atom.Granularity, dense bool) []atom.Atom {
+	if !dense {
+		if mag := absMag(v); mag < 256 && magBits > 0 && (magBits >= 8 || mag < 1<<uint(magBits)) {
+			return append(dst, atom.Digits(mag, n)...)
+		}
+		return append(dst, atom.Decompose(v, magBits, n)...)
+	}
+	return append(dst, atom.DecomposeDense(v, magBits, n)...)
+}
+
+// StreamTileActs builds the compressed activation atom stream of channel c
+// within tile tl directly from the feature map — the fused equivalent of
+// CompressActs(FlattenTile(f, c, tl), f.Bits, n, false), byte-identical in
+// output but without the intermediate element slice. Zero values are skipped
+// 64 lanes at a time: each tile row is reduced to bitmap words
+// (sparse.AppendMaskWords) and only set bits are visited via trailing-zero
+// iteration, so the per-element branch of the flatten phase disappears on
+// sparse data. Atomization goes through the precomputed digit tables.
+func StreamTileActs(f *tensor.FeatureMap, c int, tl tensor.Tile, n atom.Granularity) []ActAtom {
+	n.Validate()
+	var words [4]uint64 // tiles are ≤256 wide (8-bit block-COO coordinates)
+	masks := words[:0]
+	chanBase := c * f.H * f.W
+
+	// Pass 1: exact atom count, bitmap-driven.
+	total := 0
+	for y := 0; y < tl.H; y++ {
+		row := f.Data[chanBase+(tl.Y0+y)*f.W+tl.X0:]
+		row = row[:tl.W]
+		masks = sparse.AppendMaskWords(masks[:0], row)
+		for wi, word := range masks {
+			for word != 0 {
+				x := wi*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				total += atom.DigitCount(absMag(row[x]), n)
+			}
+		}
+	}
+
+	// Pass 2: fill.
+	out := make([]ActAtom, 0, total)
+	for y := 0; y < tl.H; y++ {
+		row := f.Data[chanBase+(tl.Y0+y)*f.W+tl.X0:]
+		row = row[:tl.W]
+		masks = sparse.AppendMaskWords(masks[:0], row)
+		for wi, word := range masks {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				x := wi*64 + b
+				out = appendActAtoms(out, row[x], f.Bits, n, uint8(x), uint8(y))
 			}
 		}
 	}

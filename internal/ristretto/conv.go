@@ -58,6 +58,8 @@ type SimResult struct {
 	TileCycles []int64           // per compute tile
 	Stalls     int64
 	Products   int64
+	Deliveries int64
+	Conflicts  int64
 	Counters   energy.Counters
 }
 
@@ -91,7 +93,14 @@ func SimulateConv(f *tensor.FeatureMap, w *tensor.KernelStack, stride, pad int, 
 		wstreams[c] = core.CompressWeights(flatK(w, c, nil), w.Bits, cfg.Tile.Gran, cfg.Dense)
 		watoms[c] = len(wstreams[c])
 		for ti, tl := range tiles {
-			acts := core.CompressActs(flatT(f, c, tl), f.Bits, cfg.Tile.Gran, cfg.Dense)
+			var acts []core.ActAtom
+			if cfg.Dense {
+				acts = core.CompressActs(flatT(f, c, tl), f.Bits, cfg.Tile.Gran, true)
+			} else {
+				// Fused zero-skipping builder: walks 64-lane bitmap words
+				// instead of materializing the dense element list.
+				acts = core.StreamTileActs(f, c, tl, cfg.Tile.Gran)
+			}
 			actStreams[[2]int{c, ti}] = acts
 			tatoms[c] += len(acts)
 		}
@@ -101,14 +110,17 @@ func SimulateConv(f *tensor.FeatureMap, w *tensor.KernelStack, stride, pad int, 
 
 	res := SimResult{TileCycles: make([]int64, cfg.Tiles)}
 	global := tensor.NewOutputMap(w.K, tensor.FullConvSize(f.H, w.KH), tensor.FullConvSize(f.W, w.KW))
+	scratch := NewTileScratch() // one scratch reused across every intersection
 	for g, chans := range groups {
 		for _, c := range chans {
 			for ti, tl := range tiles {
 				tileFull := tensor.NewOutputMap(w.K, tl.H+w.KH-1, tl.W+w.KW-1)
-				r := SimulateIntersection(actStreams[[2]int{c, ti}], wstreams[c], w.KH, w.KW, tl.W, tl.H, tileFull, cfg.Tile)
+				r := SimulateIntersectionScratch(actStreams[[2]int{c, ti}], wstreams[c], w.KH, w.KW, tl.W, tl.H, tileFull, cfg.Tile, scratch)
 				res.TileCycles[g] += r.Cycles
 				res.Stalls += r.StallCycles
 				res.Products += r.Products
+				res.Deliveries += r.Deliveries
+				res.Conflicts += r.Conflicts
 				res.Counters.Add(r.Counters)
 				refconv.AddTileFull(global, tileFull, tl)
 			}

@@ -24,6 +24,16 @@ import (
 //     Section IV-C4);
 //   - true concurrency, so the reported latency is the cycle the last tile
 //     retires — enabling cross-tile traces.
+//
+// Work and traffic accounting follows one convention shared with the tile
+// simulator and the analytic model: stalls count every cycle the chain
+// cannot advance on FIFO back-pressure; the input buffer is charged 1 B per
+// activation atom as it is fed (so re-read every ping-pong round); the
+// weight buffer is charged len(chunk) bytes at every chunk start; a drain
+// charges a 4 B accumulate-buffer read plus a 4 B output-buffer write per
+// drained entry. On those counters — and on Products/Deliveries/Conflicts —
+// SimulateCore agrees exactly with the sum of SimulateIntersection results
+// over the same jobs (pinned by the parity suite in simparity_test.go).
 
 // CoreSimConfig extends the tile configuration with core-level parameters.
 type CoreSimConfig struct {
@@ -61,7 +71,9 @@ type CoreSimResult struct {
 	TileBusy   []int64 // cycles each tile spent non-idle
 	DrainWait  int64   // cycles tiles spent queued on the output port
 	LoadCycles int64   // cycles spent loading static streams
-	Stalls     int64   // crossbar/FIFO stalls inside tiles
+	Stalls     int64   // crossbar/FIFO stalls inside tiles (same definition as TileResult.StallCycles)
+	Products   int64   // atom multiplications performed
+	Deliveries int64   // accumulator deliveries routed through the crossbar
 	Conflicts  int64   // crossbar deliveries deferred by a same-bank write
 	Stages     telemetry.StageCycles
 	Counters   energy.Counters
@@ -85,7 +97,9 @@ const (
 	tileIdle
 )
 
-// coreTile is the per-tile state machine of the lockstep simulation.
+// coreTile is the per-tile state machine of the lockstep simulation. All
+// per-cycle state (slots, FIFOs, accumulate banks, crossbar bitmask) lives
+// in the tile's private TileScratch, so stepping allocates nothing.
 type coreTile struct {
 	cfg        TileConfig
 	loadWidth  int
@@ -95,33 +109,29 @@ type coreTile struct {
 	state      coreTileState
 
 	tc *traceCtx
+	s  *TileScratch
 
 	chunks   [][]core.WeightAtom
 	chunk    int
 	loadLeft int
 	pos      int
-	slots    []slot
-	bank     map[bankKey]int32
+	plane    int32 // fullW*fullH of the current job
 
-	drainLeft  int   // cycles of output-port occupancy requested
-	drainShift uint8 // decoupled weight-slice shift of the pending drain
+	drainLeft    int   // cycles of output-port occupancy requested
+	drainShift   uint8 // decoupled weight-slice shift of the pending drain
+	drainEntries int   // accumulate-bank entries in the pending drain
 
 	occ  *telemetry.Histogram // accumulate-bank occupancy at drain (nil = telemetry off)
 	busy int64
 }
 
-type bankKey struct {
-	k    uint16
-	addr int
-}
-
-func newCoreTile(cfg TileConfig, loadWidth, drainWidth int, jobs []tileJob, tc *traceCtx, occ *telemetry.Histogram) *coreTile {
-	t := &coreTile{cfg: cfg, loadWidth: loadWidth, drainWidth: drainWidth, jobs: jobs, bank: map[bankKey]int32{}, tc: tc, occ: occ}
-	t.nextJob()
+func newCoreTile(cfg TileConfig, loadWidth, drainWidth int, jobs []tileJob, tc *traceCtx, occ *telemetry.Histogram, res *CoreSimResult) *coreTile {
+	t := &coreTile{cfg: cfg, loadWidth: loadWidth, drainWidth: drainWidth, jobs: jobs, s: NewTileScratch(), tc: tc, occ: occ}
+	t.nextJob(res)
 	return t
 }
 
-func (t *coreTile) nextJob() {
+func (t *coreTile) nextJob(res *CoreSimResult) {
 	for t.job < len(t.jobs) {
 		j := t.jobs[t.job]
 		if len(j.acts) == 0 || len(j.weights) == 0 {
@@ -129,32 +139,26 @@ func (t *coreTile) nextJob() {
 			continue
 		}
 		t.tc.emit("job_start", t.job, 0, fmt.Sprintf("acts=%d watoms=%d", len(j.acts), len(j.weights)))
-		t.chunks = t.chunks[:0]
-		start := 0
-		for start < len(j.weights) {
-			end := start
-			for end < len(j.weights) && end-start < t.cfg.Mults && j.weights[end].Shift == j.weights[start].Shift {
-				end++
-			}
-			t.chunks = append(t.chunks, j.weights[start:end])
-			start = end
-		}
+		t.chunks = t.s.splitChunks(j.weights, t.cfg.Mults)
+		t.s.prepareBanks(len(j.full.Data), j.full.K)
+		t.plane = int32(j.full.W * j.full.H)
 		t.chunk = 0
-		t.startChunk()
+		t.startChunk(res)
 		return
 	}
 	t.state = tileIdle
 	t.tc.emit("tile_done", t.job, 0, "")
 }
 
-func (t *coreTile) startChunk() {
+func (t *coreTile) startChunk(res *CoreSimResult) {
 	chunk := t.chunks[t.chunk]
-	t.slots = make([]slot, len(chunk))
-	for i := range t.slots {
-		t.slots[i].w = chunk[i]
-	}
+	t.s.prepareChunk(chunk, t.cfg.FIFODepth)
 	t.pos = 0
 	t.tc.emit("chunk_start", t.job, t.chunk, fmt.Sprintf("m=%d shift=%d", len(chunk), chunk[0].Shift))
+	// Static-stream traffic: 1 B per atom every round, the same convention
+	// as the tile simulator — the ping-pong registers hide load *latency*
+	// beyond the first chunk, not the buffer reads.
+	res.Counters.WeightBufBytes += int64(len(chunk))
 	// The first chunk of a job loads its static stream explicitly; later
 	// chunks are hidden by the ping-pong registers.
 	if t.chunk == 0 {
@@ -181,7 +185,6 @@ func (t *coreTile) step(res *CoreSimResult, drainPortFree *bool) {
 		res.Stages.Idle[telemetry.StageAtomulator]++
 		t.loadLeft--
 		res.LoadCycles++
-		res.Counters.WeightBufBytes += 4
 		if t.loadLeft <= 0 {
 			t.state = tileStreaming
 		}
@@ -198,25 +201,28 @@ func (t *coreTile) step(res *CoreSimResult, drainPortFree *bool) {
 		res.Stages.Busy[telemetry.StageAtomulator]++
 		*drainPortFree = false
 		t.drainLeft--
-		res.Counters.OutputBufBytes += int64(t.cfg.Mults) // port width in bytes/cycle
 		if t.drainLeft <= 0 {
-			t.tc.emit("drain_end", t.job, t.chunk, fmt.Sprintf("entries=%d shift=%d", len(t.bank), t.drainShift))
-			// Commit the bank contents with the decoupled shift.
-			fullW := j.tile.W + jobKW(j) - 1
-			for key, v := range t.bank {
-				j.full.Add(int(key.k), key.addr/fullW, key.addr%fullW, v<<t.drainShift)
-			}
-			t.bank = map[bankKey]int32{}
-			t.chunk++
-			if t.chunk < len(t.chunks) {
-				t.startChunk()
-			} else {
-				t.job++
-				t.nextJob()
-			}
+			t.tc.emit("drain_end", t.job, t.chunk, fmt.Sprintf("entries=%d shift=%d", t.drainEntries, t.drainShift))
+			// Commit the bank contents with the decoupled shift; traffic is
+			// charged per entry (4 B acc read + 4 B output write) inside
+			// drainBanks, the shared convention.
+			t.s.drainBanks(j.full.Data, t.drainShift, &res.Counters)
+			t.advanceChunk(res)
 		}
 	case tileStreaming:
 		t.streamCycle(res)
+	}
+}
+
+// advanceChunk moves to the next chunk of the current job, or to the next
+// job when the chunk list is exhausted.
+func (t *coreTile) advanceChunk(res *CoreSimResult) {
+	t.chunk++
+	if t.chunk < len(t.chunks) {
+		t.startChunk(res)
+	} else {
+		t.job++
+		t.nextJob(res)
 	}
 }
 
@@ -229,68 +235,60 @@ func (t *coreTile) streamCycle(res *CoreSimResult) {
 	j := t.jobs[t.job]
 	kh, kw := jobKH(j), jobKW(j)
 	fullW, fullH := j.tile.W+kw-1, j.tile.H+kh-1
+	s := t.s
+	depth := t.cfg.FIFODepth
 
 	// Crossbar: one delivery per bank per cycle.
-	written := map[uint16]bool{}
-	pending := false
-	wrote := 0
-	for s := range t.slots {
-		if len(t.slots[s].fifo) == 0 {
-			continue
-		}
-		pending = true
-		d := t.slots[s].fifo[0]
-		if written[d.k] {
-			res.Conflicts++
-			continue
-		}
-		written[d.k] = true
-		t.slots[s].fifo = t.slots[s].fifo[1:]
-		t.bank[bankKey{d.k, d.addr}] += d.val
-		wrote++
-		res.Counters.AccBufBytes += 4
-	}
+	pending, wrote := s.crossbarCycle(depth, &res.Conflicts, &res.Counters)
 
-	advance := true
-	for s := range t.slots {
-		if len(t.slots[s].fifo) >= t.cfg.FIFODepth {
-			advance = false
-			break
-		}
-	}
+	advance := s.canAdvance(depth)
 	hadInput := t.pos < len(j.acts)
 	fed, multed := false, false
 	if advance {
-		for s := len(t.slots) - 1; s > 0; s-- {
-			t.slots[s].reg = t.slots[s-1].reg
+		m := len(s.slots)
+		for sl := m - 1; sl > 0; sl-- {
+			s.slots[sl].reg = s.slots[sl-1].reg
+			s.slots[sl].regValid = s.slots[sl-1].regValid
 		}
 		if t.pos < len(j.acts) {
-			a := j.acts[t.pos]
+			s.slots[0].reg = j.acts[t.pos]
+			s.slots[0].regValid = true
 			t.pos++
 			fed = true
-			t.slots[0].reg = &a
 			res.Counters.AtomizerOps++
 			res.Counters.InputBufBytes++
 		} else {
-			t.slots[0].reg = nil
+			s.slots[0].regValid = false
 		}
-		for s := range t.slots {
-			a := t.slots[s].reg
-			if a == nil {
+		for si := range s.slots {
+			sl := &s.slots[si]
+			if !sl.regValid {
 				continue
 			}
 			multed = true
+			res.Products++
 			res.Counters.AtomMuls++
-			t.slots[s].acc += int32(t.slots[s].w.Mag) * (int32(a.Mag) << a.Shift)
+			a := sl.reg
+			sl.acc += int32(sl.w.Mag) * (int32(a.Mag) << a.Shift)
 			if a.Last {
-				v := t.slots[s].acc
-				if t.slots[s].w.Sign {
+				v := sl.acc
+				if sl.w.Sign {
 					v = -v
 				}
-				t.slots[s].acc = 0
-				xo, yo := core.OutCoord(int(t.slots[s].w.X), int(t.slots[s].w.Y), int(a.X), int(a.Y), kh, kw)
+				sl.acc = 0
+				xo, yo := core.OutCoord(int(sl.w.X), int(sl.w.Y), int(a.X), int(a.Y), kh, kw)
 				if xo >= 0 && xo < fullW && yo >= 0 && yo < fullH {
-					t.slots[s].fifo = append(t.slots[s].fifo, delivery{k: t.slots[s].w.K, addr: core.OutAddr(xo, yo, j.tile.W, kw), val: v})
+					tail := sl.head + sl.n
+					if int(tail) >= depth {
+						tail -= int32(depth)
+					}
+					s.fifo[si*depth+int(tail)] = delivery{
+						k:   sl.w.K,
+						idx: int32(sl.w.K)*t.plane + int32(core.OutAddr(xo, yo, j.tile.W, kw)),
+						val: v,
+					}
+					sl.n++
+					res.Deliveries++
 				}
 			}
 		}
@@ -302,33 +300,28 @@ func (t *coreTile) streamCycle(res *CoreSimResult) {
 	// Chunk complete when the stream has fully drained through the chain
 	// and FIFOs are empty; then request the output port for the bank drain
 	// if this is the last chunk of its slice.
-	if t.pos >= len(j.acts) {
-		empty := true
-		for s := range t.slots {
-			if t.slots[s].reg != nil || len(t.slots[s].fifo) != 0 {
-				empty = false
-				break
-			}
+	if t.pos >= len(j.acts) && s.chainEmpty() {
+		shift := t.chunks[t.chunk][0].Shift
+		lastOfSlice := t.chunk == len(t.chunks)-1 || t.chunks[t.chunk+1][0].Shift != shift
+		if !lastOfSlice {
+			t.advanceChunk(res)
+			return
 		}
-		if empty {
-			shift := t.slots[0].w.Shift
-			lastOfSlice := t.chunk == len(t.chunks)-1 || t.chunks[t.chunk+1][0].Shift != shift
-			if lastOfSlice {
-				t.tc.emit("drain_start", t.job, t.chunk, "")
-				if t.occ != nil {
-					t.occ.Observe(int64(len(t.bank)))
-				}
-				t.drainShift = shift
-				t.drainLeft = (len(t.bank) + t.drainWidth - 1) / t.drainWidth
-				if t.drainLeft < 1 {
-					t.drainLeft = 1
-				}
-				t.state = tileDraining
-			} else {
-				t.chunk++
-				t.startChunk()
-			}
+		if t.occ != nil {
+			t.occ.Observe(int64(len(s.touched)))
 		}
+		if len(s.touched) == 0 {
+			// Nothing accumulated (fully ineffectual slice): skip the drain
+			// state entirely — no output-port request, no phantom cycle, no
+			// traffic.
+			t.advanceChunk(res)
+			return
+		}
+		t.tc.emit("drain_start", t.job, t.chunk, "")
+		t.drainShift = shift
+		t.drainEntries = len(s.touched)
+		t.drainLeft = (t.drainEntries + t.drainWidth - 1) / t.drainWidth
+		t.state = tileDraining
 	}
 }
 
@@ -358,7 +351,7 @@ func SimulateCore(f *tensor.FeatureMap, w *tensor.KernelStack, stride, pad int, 
 	tatoms := make([]int, f.C)
 	for c := 0; c < f.C; c++ {
 		for ti, tl := range tiles {
-			acts := core.CompressActs(core.FlattenTile(f, c, tl), f.Bits, cfg.Tile.Gran, false)
+			acts := core.StreamTileActs(f, c, tl, cfg.Tile.Gran)
 			actStreams[[2]int{c, ti}] = acts
 			tatoms[c] += len(acts)
 		}
@@ -400,7 +393,7 @@ func SimulateCore(f *tensor.FeatureMap, w *tensor.KernelStack, stride, pad int, 
 				fulls = append(fulls, j)
 			}
 		}
-		cts[g] = newCoreTile(cfg.Tile, cfg.LoadWidth, cfg.DrainWidth, jobs, tcs[g], occHist)
+		cts[g] = newCoreTile(cfg.Tile, cfg.LoadWidth, cfg.DrainWidth, jobs, tcs[g], occHist, &res)
 	}
 
 	// Global cycle loop.

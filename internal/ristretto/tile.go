@@ -43,7 +43,7 @@ func (c TileConfig) withDefaults() TileConfig {
 // TileResult reports one intersection run on the cycle simulator.
 type TileResult struct {
 	Cycles      int64 // pipeline cycles including stalls, with ping-pong round overlap
-	StallCycles int64 // cycles lost to crossbar/FIFO back-pressure
+	StallCycles int64 // every cycle the chain could not advance on FIFO back-pressure (fill and drain phases alike — the unified definition shared with the core sim)
 	Products    int64 // atom multiplications performed
 	Deliveries  int64 // accumulator deliveries routed through the crossbar
 	Rounds      int   // static-stream chunks processed
@@ -54,18 +54,177 @@ type TileResult struct {
 
 // delivery is one accumulated product on its way to an accumulate bank.
 type delivery struct {
-	k    uint16 // output channel (selects the bank)
-	addr int    // Eq. 2 address within the bank
-	val  int32  // sign-applied, activation-shift-applied partial sum
+	k   uint16 // output channel (selects the bank)
+	idx int32  // dense accumulate-buffer index: k*fullH*fullW + Eq. 2 address
+	val int32  // sign-applied, activation-shift-applied partial sum
 }
 
 // slot is one stage of the Atomputer chain plus its Atomulator address
-// generator and pre-crossbar FIFO.
+// generator and pre-crossbar FIFO cursor. The FIFO storage itself lives in
+// TileScratch.fifo (a fixed-capacity ring window per slot); the activation
+// register is held by value so nothing in the per-cycle loop escapes to the
+// heap.
 type slot struct {
-	w    core.WeightAtom
-	acc  int32
-	reg  *core.ActAtom // activation atom currently at this stage
-	fifo []delivery
+	w        core.WeightAtom
+	acc      int32
+	reg      core.ActAtom // activation atom currently at this stage
+	regValid bool
+	head     int32 // ring cursor into this slot's FIFO window
+	n        int32 // FIFO occupancy
+}
+
+// TileScratch owns the reusable simulation state of one compute tile, so a
+// caller sweeping many intersections (SimulateConv, the benchmark suite, the
+// daemon) pays the buffer allocations once instead of per intersection — and
+// nothing at all per simulated cycle. All fields are sized lazily against
+// the largest intersection seen. The zero value is ready to use.
+//
+// Invariant between runs: bank is all-zero and present/touched empty (every
+// run drains fully), so re-use needs no explicit clearing.
+type TileScratch struct {
+	chunks   [][]core.WeightAtom // slice-aligned static-stream chunks
+	slots    []slot
+	fifo     []delivery // m×FIFODepth ring storage, window j = [j*depth, (j+1)*depth)
+	bank     []int32    // dense accumulate banks, image of the out buffer
+	present  []uint64   // bitset over bank: entry holds a partial sum
+	touched  []int32    // bank indices in first-write order (deterministic drain order)
+	written  []uint64   // per-cycle crossbar bank bitmask, indexed by output channel
+	writtenK []uint16   // channels written this cycle, for sparse clearing
+}
+
+// NewTileScratch returns an empty scratch; buffers grow on first use.
+func NewTileScratch() *TileScratch { return &TileScratch{} }
+
+// prepareBanks sizes the accumulate-bank image and crossbar bitmask for an
+// out buffer of bankLen accumulators across k output channels.
+func (s *TileScratch) prepareBanks(bankLen, k int) {
+	if cap(s.bank) < bankLen {
+		s.bank = make([]int32, bankLen)
+		s.present = make([]uint64, (bankLen+63)/64)
+	}
+	s.bank = s.bank[:bankLen]
+	s.present = s.present[:(bankLen+63)/64]
+	if words := (k + 63) / 64; cap(s.written) < words {
+		s.written = make([]uint64, words)
+	} else {
+		s.written = s.written[:words]
+	}
+	s.touched = s.touched[:0]
+	s.writtenK = s.writtenK[:0]
+}
+
+// prepareChunk loads a static-stream chunk into the slot array and sizes the
+// FIFO ring storage for it.
+func (s *TileScratch) prepareChunk(chunk []core.WeightAtom, depth int) {
+	m := len(chunk)
+	if cap(s.slots) < m {
+		s.slots = make([]slot, m)
+	}
+	s.slots = s.slots[:m]
+	if need := m * depth; cap(s.fifo) < need {
+		s.fifo = make([]delivery, need)
+	} else {
+		s.fifo = s.fifo[:need]
+	}
+	for j := range s.slots {
+		s.slots[j] = slot{w: chunk[j]}
+	}
+}
+
+// splitChunks splits the static stream into slice-aligned chunks of at most
+// n atoms, reusing the scratch chunk list.
+func (s *TileScratch) splitChunks(weights []core.WeightAtom, n int) [][]core.WeightAtom {
+	s.chunks = s.chunks[:0]
+	start := 0
+	for start < len(weights) {
+		end := start
+		for end < len(weights) && end-start < n && weights[end].Shift == weights[start].Shift {
+			end++
+		}
+		s.chunks = append(s.chunks, weights[start:end])
+		start = end
+	}
+	return s.chunks
+}
+
+// crossbarCycle commits at most one pending delivery per accumulate bank:
+// the shared inner step of both simulators. It returns whether any delivery
+// was pending and how many committed; conflicts and traffic land in the
+// provided counters.
+func (s *TileScratch) crossbarCycle(depth int, conflicts *int64, acc *energy.Counters) (pending bool, wrote int) {
+	for j := range s.slots {
+		sl := &s.slots[j]
+		if sl.n == 0 {
+			continue
+		}
+		pending = true
+		d := &s.fifo[j*depth+int(sl.head)]
+		kw, kb := d.k>>6, uint(d.k&63)
+		if s.written[kw]&(1<<kb) != 0 {
+			*conflicts++
+			continue
+		}
+		s.written[kw] |= 1 << kb
+		s.writtenK = append(s.writtenK, d.k)
+		sl.head++
+		if int(sl.head) == depth {
+			sl.head = 0
+		}
+		sl.n--
+		idx := d.idx
+		if s.present[idx>>6]&(1<<uint(idx&63)) == 0 {
+			s.present[idx>>6] |= 1 << uint(idx&63)
+			s.touched = append(s.touched, idx)
+		}
+		s.bank[idx] += d.val
+		wrote++
+		acc.AccBufBytes += 4
+	}
+	for _, k := range s.writtenK {
+		s.written[k>>6] &^= 1 << uint(k&63)
+	}
+	s.writtenK = s.writtenK[:0]
+	return pending, wrote
+}
+
+// canAdvance reports whether every slot FIFO has room for one more delivery
+// (the conservative stall condition).
+func (s *TileScratch) canAdvance(depth int) bool {
+	for j := range s.slots {
+		if int(s.slots[j].n) >= depth {
+			return false
+		}
+	}
+	return true
+}
+
+// chainEmpty reports whether the multiplier chain and all FIFOs drained.
+func (s *TileScratch) chainEmpty() bool {
+	for j := range s.slots {
+		if s.slots[j].regValid || s.slots[j].n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// drainBanks applies the decoupled weight-slice shift and aggregates every
+// touched accumulate bank into dst, clearing the banks. The drain walks the
+// touched list in first-write order — deterministic because the simulation
+// is. It returns the number of entries drained; traffic accounting (4 B
+// accumulate-buffer read + 4 B output-buffer write per entry, the unified
+// convention of both simulators) lands in acc.
+func (s *TileScratch) drainBanks(dst []int32, shift uint8, acc *energy.Counters) int {
+	for _, idx := range s.touched {
+		dst[idx] += s.bank[idx] << shift
+		s.bank[idx] = 0
+		s.present[idx>>6] &^= 1 << uint(idx&63)
+	}
+	n := len(s.touched)
+	s.touched = s.touched[:0]
+	acc.AccBufBytes += 4 * int64(n)
+	acc.OutputBufBytes += 4 * int64(n)
+	return n
 }
 
 // SimulateIntersection runs one (input channel, spatial tile) intersection on
@@ -80,7 +239,16 @@ type slot struct {
 // buffer); cycle accounting credits the ping-pong weight registers: a
 // non-final round costs t (+stalls) cycles because its drain overlaps the
 // next round's fill (Eq. 3/4).
+//
+// This wrapper allocates a fresh TileScratch; sweeps should use
+// SimulateIntersectionScratch with a reused one.
 func SimulateIntersection(acts []core.ActAtom, weights []core.WeightAtom, kh, kw, tileW, tileH int, out *tensor.OutputMap, cfg TileConfig) TileResult {
+	return SimulateIntersectionScratch(acts, weights, kh, kw, tileW, tileH, out, cfg, NewTileScratch())
+}
+
+// SimulateIntersectionScratch is SimulateIntersection with caller-owned
+// scratch: across a sweep the hot loop performs no heap allocation at all.
+func SimulateIntersectionScratch(acts []core.ActAtom, weights []core.WeightAtom, kh, kw, tileW, tileH int, out *tensor.OutputMap, cfg TileConfig, s *TileScratch) TileResult {
 	cfg = cfg.withDefaults()
 	fullW, fullH := tileW+kw-1, tileH+kh-1
 	if out.W != fullW || out.H != fullH {
@@ -91,123 +259,89 @@ func SimulateIntersection(acts []core.ActAtom, weights []core.WeightAtom, kh, kw
 		return res
 	}
 
-	// Split the static stream into slice-aligned chunks of at most N atoms.
-	var chunks [][]core.WeightAtom
-	start := 0
-	for start < len(weights) {
-		end := start
-		for end < len(weights) && end-start < cfg.Mults && weights[end].Shift == weights[start].Shift {
-			end++
-		}
-		chunks = append(chunks, weights[start:end])
-		start = end
-	}
-
-	// Accumulate banks, persistent within a slice: (channel, addr) → value.
-	type bankKey struct {
-		k    uint16
-		addr int
-	}
-	bank := map[bankKey]int32{}
+	chunks := s.splitChunks(weights, cfg.Mults)
+	s.prepareBanks(len(out.Data), out.K)
+	plane := int32(fullW * fullH)
+	depth := cfg.FIFODepth
 	var occHist *telemetry.Histogram
 	if telemetry.Default.Enabled() {
 		occHist = telemetry.Default.Histogram("ristretto.accbuf.occupancy_entries")
-	}
-	drain := func(shift uint8) {
-		if occHist != nil {
-			occHist.Observe(int64(len(bank)))
-		}
-		for key, v := range bank {
-			yo := key.addr / fullW
-			xo := key.addr % fullW
-			out.Add(int(key.k), yo, xo, v<<shift)
-			res.Counters.AccBufBytes += 4    // drain read
-			res.Counters.OutputBufBytes += 4 // aggregation write
-		}
-		bank = map[bankKey]int32{}
 	}
 
 	for ci, chunk := range chunks {
 		res.Rounds++
 		m := len(chunk)
-		slots := make([]slot, m)
-		for j := range slots {
-			slots[j].w = chunk[j]
-		}
-		res.Counters.WeightBufBytes += int64(m) // static-stream load (1B/atom incl. metadata)
+		s.prepareChunk(chunk, depth)
+		// Static-stream load: 1 B per atom (incl. metadata) every round —
+		// the ping-pong registers hide the load latency, not the traffic.
+		res.Counters.WeightBufBytes += int64(m)
 		pos := 0
 		entered := int64(0) // cycles until the last act atom entered the chain
 		cycles := int64(0)
 		for {
 			// 1. Crossbar: each bank accepts one delivery per cycle.
-			written := map[uint16]bool{}
-			pending := false
-			wrote := 0
-			for j := range slots {
-				if len(slots[j].fifo) == 0 {
-					continue
-				}
-				pending = true
-				d := slots[j].fifo[0]
-				if written[d.k] {
-					res.Conflicts++
-					continue
-				}
-				written[d.k] = true
-				slots[j].fifo = slots[j].fifo[1:]
-				bank[bankKey{d.k, d.addr}] += d.val
-				wrote++
-				res.Counters.AccBufBytes += 4
-			}
+			pending, wrote := s.crossbarCycle(depth, &res.Conflicts, &res.Counters)
 
 			// 2. Advance unless any FIFO is full (conservative stall).
-			advance := true
-			for j := range slots {
-				if len(slots[j].fifo) >= cfg.FIFODepth {
-					advance = false
-					break
-				}
-			}
+			advance := s.canAdvance(depth)
 			done := pos >= len(acts)
 			fed, multed := false, false
 			if advance {
 				// Systolic shift.
 				for j := m - 1; j > 0; j-- {
-					slots[j].reg = slots[j-1].reg
+					s.slots[j].reg = s.slots[j-1].reg
+					s.slots[j].regValid = s.slots[j-1].regValid
 				}
 				if pos < len(acts) {
-					a := acts[pos]
+					s.slots[0].reg = acts[pos]
+					s.slots[0].regValid = true
 					pos++
 					fed = true
-					slots[0].reg = &a
 					res.Counters.AtomizerOps++
+					// The activation stream is re-read from the input
+					// buffer each ping-pong round: ≈1 B per atom incl.
+					// coords, charged as fed.
+					res.Counters.InputBufBytes++
 				} else {
-					slots[0].reg = nil
+					s.slots[0].regValid = false
 				}
 				// Multiply/accumulate at every occupied stage.
-				for j := range slots {
-					a := slots[j].reg
-					if a == nil {
+				for j := range s.slots {
+					sl := &s.slots[j]
+					if !sl.regValid {
 						continue
 					}
 					multed = true
 					res.Products++
 					res.Counters.AtomMuls++
-					slots[j].acc += int32(slots[j].w.Mag) * (int32(a.Mag) << a.Shift)
+					a := sl.reg
+					sl.acc += int32(sl.w.Mag) * (int32(a.Mag) << a.Shift)
 					if a.Last {
-						v := slots[j].acc
-						if slots[j].w.Sign {
+						v := sl.acc
+						if sl.w.Sign {
 							v = -v
 						}
-						slots[j].acc = 0
-						xo, yo := core.OutCoord(int(slots[j].w.X), int(slots[j].w.Y), int(a.X), int(a.Y), kh, kw)
+						sl.acc = 0
+						xo, yo := core.OutCoord(int(sl.w.X), int(sl.w.Y), int(a.X), int(a.Y), kh, kw)
 						if xo >= 0 && xo < fullW && yo >= 0 && yo < fullH { // comp module
-							slots[j].fifo = append(slots[j].fifo, delivery{k: slots[j].w.K, addr: core.OutAddr(xo, yo, tileW, kw), val: v})
+							tail := sl.head + sl.n
+							if int(tail) >= depth {
+								tail -= int32(depth)
+							}
+							s.fifo[j*depth+int(tail)] = delivery{
+								k:   sl.w.K,
+								idx: int32(sl.w.K)*plane + int32(core.OutAddr(xo, yo, tileW, kw)),
+								val: v,
+							}
+							sl.n++
 							res.Deliveries++
 						}
 					}
 				}
-			} else if !done {
+			} else {
+				// Unified stall definition: every cycle lost to FIFO
+				// back-pressure counts, whether the stream is still feeding
+				// or the chain is draining (the core sim counts these too).
 				res.StallCycles++
 			}
 			classifyStages(&res.Stages, fed, multed, advance, !done, pending, wrote)
@@ -217,17 +351,8 @@ func SimulateIntersection(acts []core.ActAtom, weights []core.WeightAtom, kh, kw
 			}
 			// Finished when the stream is consumed, the chain has drained
 			// and all FIFOs are empty.
-			if pos >= len(acts) {
-				empty := true
-				for j := range slots {
-					if slots[j].reg != nil || len(slots[j].fifo) != 0 {
-						empty = false
-						break
-					}
-				}
-				if empty {
-					break
-				}
+			if pos >= len(acts) && s.chainEmpty() {
+				break
 			}
 		}
 		// Ping-pong overlap: all but the final chunk hide their drain under
@@ -240,10 +365,11 @@ func SimulateIntersection(acts []core.ActAtom, weights []core.WeightAtom, kh, kw
 		}
 		// Drain the accumulate banks at slice boundaries (decoupled shift).
 		if last || chunks[ci+1][0].Shift != chunk[0].Shift {
-			drain(chunk[0].Shift)
+			if occHist != nil {
+				occHist.Observe(int64(len(s.touched)))
+			}
+			s.drainBanks(out.Data, chunk[0].Shift, &res.Counters)
 		}
-		// The activation stream is re-read from the input buffer each round.
-		res.Counters.InputBufBytes += int64(len(acts)) // ≈1B per atom incl. coords
 	}
 	telemetry.Default.AddStageCycles(res.Stages)
 	return res

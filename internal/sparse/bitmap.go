@@ -1,6 +1,9 @@
 package sparse
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // BitmapVec is SparTen's compression format: a dense bitmask recording which
 // positions of a logical vector are non-zero, plus the packed non-zero values
@@ -104,11 +107,45 @@ func LaneMatchCounts(a, w *BitmapVec, laneLen int) []int {
 	return counts
 }
 
-func popcount64(x uint64) int {
-	cnt := 0
-	for x != 0 {
-		x &= x - 1
-		cnt++
+func popcount64(x uint64) int { return bits.OnesCount64(x) }
+
+// AppendMaskWords appends the non-zero bitmask words of v to dst (64
+// positions per word, bit i%64 of word i/64 set iff v[i] != 0) and returns
+// the extended slice. This is the zero-skipping front end the stream
+// builders use: consumers iterate set bits with bits.TrailingZeros64 and
+// never branch on the zero positions, the same word-at-a-time walk SparTen's
+// inner join performs over its bitmasks.
+func AppendMaskWords(dst []uint64, v []int32) []uint64 {
+	for base := 0; base < len(v); base += 64 {
+		end := base + 64
+		if end > len(v) {
+			end = len(v)
+		}
+		var word uint64
+		for i, x := range v[base:end] {
+			if x != 0 {
+				word |= 1 << uint(i)
+			}
+		}
+		dst = append(dst, word)
 	}
-	return cnt
+	return dst
+}
+
+// NextNonZero returns the position of the first set bit at or after pos in
+// the mask words, or n if there is none — the priority-encoder primitive
+// over AppendMaskWords output.
+func NextNonZero(mask []uint64, pos, n int) int {
+	for pos < n {
+		w := mask[pos/64] >> uint(pos%64)
+		if w != 0 {
+			pos += bits.TrailingZeros64(w)
+			if pos >= n {
+				return n
+			}
+			return pos
+		}
+		pos = (pos/64 + 1) * 64
+	}
+	return n
 }
