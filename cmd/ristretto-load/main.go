@@ -10,7 +10,15 @@
 //	               [-timeout 10s] [-inflight 1024] [-seed 1]
 //	               [-mix model=6,sim=1,quant=2,conformance=1]
 //	               [-net ResNet-18] [-layer conv3_2] [-precision 4b]
-//	               [-scale 16] [-json] [-version]
+//	               [-scale 16] [-keys 1] [-key-skew 1.2]
+//	               [-tenants 0] [-tenant-skew 1.2] [-batch-frac 0]
+//	               [-json] [-version]
+//
+// Multi-tenant mode (-tenants > 0 or -batch-frac > 0) tags every request
+// with X-Tenant / X-Priority headers, draws tenants and hot request keys
+// from zipfian distributions, and reports per-class tallies (shed,
+// quota-denied, degraded, p99) plus cache-hit and batched counts — the
+// traffic shape the serving-scale CI gates assert on.
 //
 // Exit status: 0 when the run completed and the server answered (any
 // status codes — shedding is healthy behaviour); 1 when the server was
@@ -45,6 +53,11 @@ func main() {
 	layer := flag.String("layer", "conv3_2", "layer for sim requests")
 	precision := flag.String("precision", "4b", "precision for model/sim requests")
 	scale := flag.Int("scale", 16, "spatial scale-down for model/sim requests")
+	keys := flag.Int("keys", 1, "distinct request bodies per target (seeds seed..seed+keys-1)")
+	keySkew := flag.Float64("key-skew", 0, "zipf s for hot-key picks among -keys bodies (0 = 1.2, must be > 1)")
+	tenants := flag.Int("tenants", 0, "synthetic tenants to spread traffic over via X-Tenant (0 = no header)")
+	tenantSkew := flag.Float64("tenant-skew", 0, "zipf s for tenant picks (0 = 1.2, must be > 1)")
+	batchFrac := flag.Float64("batch-frac", 0, "fraction of requests tagged X-Priority: batch (0..1)")
 	asJSON := flag.Bool("json", false, "print the report as JSON")
 	version := flag.Bool("version", false, "print version and VCS info, then exit")
 	flag.Parse()
@@ -60,7 +73,7 @@ func main() {
 		fatal(fmt.Errorf("invalid -duration %v: must be > 0", *duration))
 	}
 
-	targets, err := buildMix(*mix, *net, *layer, *precision, *scale, *seed)
+	targets, err := buildMix(*mix, *net, *layer, *precision, *scale, *seed, *keys)
 	if err != nil {
 		fatal(err)
 	}
@@ -68,13 +81,17 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	rep, err := loadtest.Run(ctx, loadtest.Config{
-		BaseURL:     strings.TrimRight(*addr, "/"),
-		RPS:         *rps,
-		Duration:    *duration,
-		Timeout:     *timeout,
-		MaxInFlight: *inflight,
-		Seed:        *seed,
-		Targets:     targets,
+		BaseURL:       strings.TrimRight(*addr, "/"),
+		RPS:           *rps,
+		Duration:      *duration,
+		Timeout:       *timeout,
+		MaxInFlight:   *inflight,
+		Seed:          *seed,
+		Targets:       targets,
+		Tenants:       *tenants,
+		TenantSkew:    *tenantSkew,
+		KeySkew:       *keySkew,
+		BatchFraction: *batchFrac,
 	})
 	if err != nil {
 		fatal(err)
@@ -100,9 +117,13 @@ func main() {
 	}
 }
 
-// buildMix reweights the default traffic mix by the -mix flag.
-func buildMix(spec, net, layer, precision string, scale int, seed int64) ([]loadtest.Target, error) {
+// buildMix reweights the default traffic mix by the -mix flag; keys > 1
+// expands each target into that many distinct bodies for hot-key runs.
+func buildMix(spec, net, layer, precision string, scale int, seed int64, keys int) ([]loadtest.Target, error) {
 	base := loadtest.DefaultMix(net, layer, precision, scale, seed)
+	if keys > 1 {
+		base = loadtest.MultiKeyMix(net, layer, precision, scale, seed, keys)
+	}
 	weights := map[string]int{}
 	for _, t := range base {
 		weights[t.Name] = t.Weight

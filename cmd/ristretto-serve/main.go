@@ -11,6 +11,9 @@
 //	ristretto-serve [-addr :8390] [-max-concurrent N] [-queue 64]
 //	                [-deadline 15s] [-max-deadline 2m] [-max-body 1048576]
 //	                [-breaker-threshold 250ms] [-breaker-cooldown 2s]
+//	                [-breaker-hard-factor 4] [-cache-entries 4096]
+//	                [-batch-window 1ms] [-max-batch 16] [-batch-queue-share N]
+//	                [-tenant-rate 0] [-tenant-burst N] [-max-tenants 10000]
 //	                [-default-scale 16] [-drain-grace 30s]
 //	                [-fault spec] [-version]
 //	                [-cpuprofile f] [-memprofile f] [-trace f] [-pprof addr]
@@ -49,6 +52,14 @@ func main() {
 	maxBody := flag.Int64("max-body", 1<<20, "request body size limit in bytes")
 	breakerThreshold := flag.Duration("breaker-threshold", 250*time.Millisecond, "queue wait that degrades /v1/sim to the analytic model (negative disables)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 2*time.Second, "how long the breaker stays open after the last slow wait")
+	breakerHardFactor := flag.Int("breaker-hard-factor", 0, "multiple of breaker-threshold at which interactive traffic also degrades (0 = 4)")
+	cacheEntries := flag.Int("cache-entries", 0, "memo cache capacity for /v1/model and /v1/quant (0 = 4096, negative disables)")
+	batchWindow := flag.Duration("batch-window", 0, "coalescing window for /v1/sim batching (0 = 1ms, negative disables)")
+	maxBatch := flag.Int("max-batch", 0, "distinct simulations per coalesced batch (0 = 16)")
+	batchQueueShare := flag.Int("batch-queue-share", 0, "admission-queue places the batch priority class may occupy (0 = queue/2)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant token refill in requests/second (0 disables quotas)")
+	tenantBurst := flag.Float64("tenant-burst", 0, "per-tenant token bucket capacity (0 = max(1, tenant-rate))")
+	maxTenants := flag.Int("max-tenants", 0, "tracked tenant buckets before overflow tenants share one (0 = 10000)")
 	defaultScale := flag.Int("default-scale", 16, "spatial scale-down applied when a request names none")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 	faultSpec := flag.String("fault", "", "fault-injection schedule for request handling (e.g. seed=7,panic=0.05,delay=0.2:5ms)")
@@ -79,15 +90,23 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		MaxConcurrent:    *maxConcurrent,
-		MaxQueue:         *queue,
-		DefaultDeadline:  *deadline,
-		MaxDeadline:      *maxDeadline,
-		MaxBodyBytes:     *maxBody,
-		BreakerThreshold: *breakerThreshold,
-		BreakerCooldown:  *breakerCooldown,
-		DefaultScale:     *defaultScale,
-		Fault:            sched,
+		MaxConcurrent:     *maxConcurrent,
+		MaxQueue:          *queue,
+		DefaultDeadline:   *deadline,
+		MaxDeadline:       *maxDeadline,
+		MaxBodyBytes:      *maxBody,
+		BreakerThreshold:  *breakerThreshold,
+		BreakerCooldown:   *breakerCooldown,
+		BreakerHardFactor: *breakerHardFactor,
+		CacheEntries:      *cacheEntries,
+		BatchWindow:       *batchWindow,
+		MaxBatch:          *maxBatch,
+		BatchQueueShare:   *batchQueueShare,
+		TenantRate:        *tenantRate,
+		TenantBurst:       *tenantBurst,
+		MaxTenants:        *maxTenants,
+		DefaultScale:      *defaultScale,
+		Fault:             sched,
 	})
 	hs := &http.Server{
 		Handler:           srv.Handler(),

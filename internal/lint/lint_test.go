@@ -118,11 +118,15 @@ func exportedReceiver(fd *ast.FuncDecl) bool {
 }
 
 // TestExportedDocComments requires doc comments on every exported
-// identifier of the packages the telemetry PR promises full godoc for:
-// internal/telemetry, internal/runner and internal/ristretto.
+// identifier of the packages that promise full godoc: the telemetry PR's
+// internal/telemetry, internal/runner and internal/ristretto, plus the
+// serving PR's internal/server and internal/loadtest.
 func TestExportedDocComments(t *testing.T) {
 	root := repoRoot(t)
-	for _, pkg := range []string{"internal/telemetry", "internal/runner", "internal/ristretto"} {
+	for _, pkg := range []string{
+		"internal/telemetry", "internal/runner", "internal/ristretto",
+		"internal/server", "internal/loadtest",
+	} {
 		fset, files := parseDir(t, filepath.Join(root, pkg))
 		for _, f := range files {
 			for _, decl := range f.Decls {
@@ -172,16 +176,21 @@ func TestExportedDocComments(t *testing.T) {
 // mdLink matches inline markdown links; the first capture is the target.
 var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 
-// TestMarkdownLinks fails on broken intra-repo links in the root-level
-// markdown docs: every relative link target (file or directory, anchors
-// stripped) must exist. External URLs and pure-anchor links are skipped, as
-// are fenced code blocks.
+// TestMarkdownLinks fails on broken intra-repo links in the root-level and
+// docs/ markdown files: every relative link target (file or directory,
+// anchors stripped) must exist. External URLs and pure-anchor links are
+// skipped, as are fenced code blocks.
 func TestMarkdownLinks(t *testing.T) {
 	root := repoRoot(t)
 	docs, err := filepath.Glob(filepath.Join(root, "*.md"))
 	if err != nil {
 		t.Fatal(err)
 	}
+	sub, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs = append(docs, sub...)
 	if len(docs) == 0 {
 		t.Fatal("no markdown docs found at repo root")
 	}

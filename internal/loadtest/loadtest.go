@@ -36,6 +36,11 @@ type Target struct {
 	Path   string // request path, e.g. "/v1/model"
 	Body   string // JSON body
 	Weight int    // relative pick probability (>= 1)
+	// Bodies, when non-empty, is a set of distinct request bodies for this
+	// target; each arrival picks one zipfian-skewed by Config.KeySkew, so a
+	// few hot configurations dominate — the cache-hot traffic shape the
+	// serving-scale experiments measure. Body is ignored when Bodies is set.
+	Bodies []string
 }
 
 // Config describes one load run.
@@ -55,26 +60,62 @@ type Config struct {
 	Seed int64
 	// Targets is the traffic mix (required, weights >= 1).
 	Targets []Target
+
+	// Tenants, when > 0, enables multi-tenant mode: every request carries
+	// an X-Tenant header naming one of this many synthetic tenants, picked
+	// zipfian-skewed so a few tenants dominate the traffic.
+	Tenants int
+	// TenantSkew is the zipf s parameter for tenant picks; must be > 1
+	// when set. 0 = 1.2 (mild skew).
+	TenantSkew float64
+	// KeySkew is the zipf s parameter for per-target body picks (see
+	// Target.Bodies); must be > 1 when set. 0 = 1.2.
+	KeySkew float64
+	// BatchFraction is the probability an arrival is tagged
+	// "X-Priority: batch" instead of interactive (0..1). Any value > 0
+	// enables per-class accounting in the report.
+	BatchFraction float64
+
 	// Client overrides the HTTP client (tests); nil builds one from
 	// Timeout.
 	Client *http.Client
 }
 
+// ClassReport is the per-priority-class slice of a multi-tenant run's
+// outcome, keyed "interactive" / "batch" in Report.Classes.
+type ClassReport struct {
+	Sent         int64   `json:"sent"`
+	Completed    int64   `json:"completed"`
+	OK           int64   `json:"ok"`   // 200s
+	Shed         int64   `json:"shed"` // 429s
+	QuotaDenied  int64   `json:"quota_denied"`
+	Degraded     int64   `json:"degraded"`
+	LatencyMSP99 float64 `json:"latency_ms_p99"`
+
+	lat telemetry.Histogram
+}
+
 // Report is the outcome of one run.
 type Report struct {
-	Offered         int64            `json:"offered"`  // ticks of the arrival clock
-	Sent            int64            `json:"sent"`     // requests actually fired
-	Dropped         int64            `json:"dropped"`  // arrivals over the in-flight cap
+	Offered         int64            `json:"offered"` // ticks of the arrival clock
+	Sent            int64            `json:"sent"`    // requests actually fired
+	Dropped         int64            `json:"dropped"` // arrivals over the in-flight cap
 	Completed       int64            `json:"completed"`
 	Status          map[string]int64 `json:"status"` // "200" → count
 	ByTarget        map[string]int64 `json:"by_target"`
-	Degraded        int64            `json:"degraded"` // 200s flagged degraded=true
+	Degraded        int64            `json:"degraded"`     // 200s flagged degraded=true
+	CacheHits       int64            `json:"cache_hits"`   // 200s flagged cached=true
+	Batched         int64            `json:"batched"`      // 200s flagged batched=true
+	QuotaDenied     int64            `json:"quota_denied"` // 429s naming an exhausted tenant quota
 	TransportErrors int64            `json:"transport_errors"`
 	LatencyMSP50    float64          `json:"latency_ms_p50"`
 	LatencyMSP95    float64          `json:"latency_ms_p95"`
 	LatencyMSP99    float64          `json:"latency_ms_p99"`
 	LatencyMSMax    float64          `json:"latency_ms_max"`
 	Elapsed         time.Duration    `json:"elapsed_ns"`
+	// Classes holds per-priority-class tallies; populated only when the run
+	// used multi-tenant mode (Tenants > 0 or BatchFraction > 0).
+	Classes map[string]*ClassReport `json:"classes,omitempty"`
 }
 
 // String renders the report as an aligned human-readable summary.
@@ -99,14 +140,37 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "  target %s: %d\n", n, r.ByTarget[n])
 	}
 	fmt.Fprintf(&b, "  degraded responses: %d\n", r.Degraded)
+	if r.CacheHits > 0 || r.Batched > 0 || r.QuotaDenied > 0 {
+		fmt.Fprintf(&b, "  cache hits: %d  batched: %d  quota denied: %d\n",
+			r.CacheHits, r.Batched, r.QuotaDenied)
+	}
 	fmt.Fprintf(&b, "  latency ms: p50=%.1f p95=%.1f p99=%.1f max=%.1f\n",
 		r.LatencyMSP50, r.LatencyMSP95, r.LatencyMSP99, r.LatencyMSMax)
+	classes := make([]string, 0, len(r.Classes))
+	for n := range r.Classes {
+		classes = append(classes, n)
+	}
+	sort.Strings(classes)
+	for _, n := range classes {
+		c := r.Classes[n]
+		fmt.Fprintf(&b, "  class %s: sent %d ok %d shed %d quota-denied %d degraded %d p99=%.1fms\n",
+			n, c.Sent, c.OK, c.Shed, c.QuotaDenied, c.Degraded, c.LatencyMSP99)
+	}
 	return b.String()
 }
 
-// degradedProbe is the minimal response shape the generator inspects.
-type degradedProbe struct {
+// respProbe is the minimal success-response shape the generator inspects.
+type respProbe struct {
 	Degraded bool `json:"degraded"`
+	Cached   bool `json:"cached"`
+	Batched  bool `json:"batched"`
+}
+
+// errProbe is the minimal error-envelope shape the generator inspects: a
+// 429 naming a tenant in quota was a per-tenant rate denial rather than a
+// global queue shed.
+type errProbe struct {
+	Quota string `json:"quota"`
 }
 
 // Run offers cfg.RPS requests per second against cfg.BaseURL for
@@ -133,6 +197,21 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 		totalWeight += t.Weight
 	}
+	if cfg.TenantSkew == 0 {
+		cfg.TenantSkew = 1.2
+	}
+	if cfg.KeySkew == 0 {
+		cfg.KeySkew = 1.2
+	}
+	if cfg.TenantSkew <= 1 {
+		return nil, fmt.Errorf("loadtest: TenantSkew %v must be > 1 (zipf s parameter)", cfg.TenantSkew)
+	}
+	if cfg.KeySkew <= 1 {
+		return nil, fmt.Errorf("loadtest: KeySkew %v must be > 1 (zipf s parameter)", cfg.KeySkew)
+	}
+	if cfg.BatchFraction < 0 || cfg.BatchFraction > 1 {
+		return nil, fmt.Errorf("loadtest: BatchFraction %v must be in [0, 1]", cfg.BatchFraction)
+	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 10 * time.Second
 	}
@@ -141,15 +220,49 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	client := cfg.Client
 	if client == nil {
-		client = &http.Client{Timeout: cfg.Timeout}
+		// The default transport keeps only 2 idle connections per host, so
+		// at serving-scale rates the generator would reconnect on nearly
+		// every request and throttle itself on connection setup — measuring
+		// its own TCP churn instead of the server. Size the idle pool to the
+		// in-flight cap so connections are reused across the whole run.
+		client = &http.Client{
+			Timeout: cfg.Timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.MaxInFlight,
+				MaxIdleConnsPerHost: cfg.MaxInFlight,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
 	}
+	multiTenant := cfg.Tenants > 0 || cfg.BatchFraction > 0
 
 	rep := &Report{Status: map[string]int64{}, ByTarget: map[string]int64{}}
+	if multiTenant {
+		// Pre-created so fire goroutines never mutate the map itself.
+		rep.Classes = map[string]*ClassReport{
+			"interactive": {},
+			"batch":       {},
+		}
+	}
 	var mu sync.Mutex // guards rep maps and scalar tallies
 	var lat telemetry.Histogram
 	var wg sync.WaitGroup
 	inflight := make(chan struct{}, cfg.MaxInFlight)
 	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// All random picks happen on the clock goroutine, so the arrival
+	// sequence — targets, bodies, tenants, classes — is deterministic in
+	// Seed.
+	var tenantZipf *rand.Zipf
+	if cfg.Tenants > 1 {
+		tenantZipf = rand.NewZipf(rng, cfg.TenantSkew, 1, uint64(cfg.Tenants-1))
+	}
+	keyZipf := map[string]*rand.Zipf{}
+	for i := range cfg.Targets {
+		if n := len(cfg.Targets[i].Bodies); n > 1 {
+			keyZipf[cfg.Targets[i].Name] = rand.NewZipf(rng, cfg.KeySkew, 1, uint64(n-1))
+		}
+	}
 
 	pick := func() *Target {
 		w := rng.Intn(totalWeight)
@@ -160,12 +273,40 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 		return &cfg.Targets[len(cfg.Targets)-1]
 	}
+	pickBody := func(t *Target) string {
+		if len(t.Bodies) == 0 {
+			return t.Body
+		}
+		if z := keyZipf[t.Name]; z != nil {
+			return t.Bodies[z.Uint64()]
+		}
+		return t.Bodies[0]
+	}
+	pickTenant := func() string {
+		if cfg.Tenants <= 0 {
+			return ""
+		}
+		idx := uint64(0)
+		if tenantZipf != nil {
+			idx = tenantZipf.Uint64()
+		}
+		return "tenant-" + strconv.FormatUint(idx, 10)
+	}
+	pickClass := func() string {
+		if !multiTenant {
+			return ""
+		}
+		if cfg.BatchFraction > 0 && rng.Float64() < cfg.BatchFraction {
+			return "batch"
+		}
+		return "interactive"
+	}
 
-	fire := func(t *Target) {
+	fire := func(t *Target, body, tenant, class string) {
 		defer wg.Done()
 		defer func() { <-inflight }()
 		start := time.Now()
-		req, err := http.NewRequest(http.MethodPost, cfg.BaseURL+t.Path, bytes.NewReader([]byte(t.Body)))
+		req, err := http.NewRequest(http.MethodPost, cfg.BaseURL+t.Path, bytes.NewReader([]byte(body)))
 		if err != nil {
 			mu.Lock()
 			rep.TransportErrors++
@@ -173,24 +314,63 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			return
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if tenant != "" {
+			req.Header.Set("X-Tenant", tenant)
+		}
+		if class != "" {
+			req.Header.Set("X-Priority", class)
+		}
 		resp, err := client.Do(req)
 		elapsed := time.Since(start)
 		mu.Lock()
 		defer mu.Unlock()
 		rep.Completed++
+		cr := rep.Classes[class] // nil when not multi-tenant
+		if cr != nil {
+			cr.Completed++
+		}
 		if err != nil {
 			rep.TransportErrors++
 			return
 		}
 		defer resp.Body.Close()
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		body2, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		lat.Observe(elapsed.Nanoseconds())
+		if cr != nil {
+			cr.lat.Observe(elapsed.Nanoseconds())
+		}
 		rep.Status[strconv.Itoa(resp.StatusCode)]++
 		rep.ByTarget[t.Name]++
-		if resp.StatusCode == http.StatusOK {
-			var p degradedProbe
-			if json.Unmarshal(body, &p) == nil && p.Degraded {
-				rep.Degraded++
+		switch resp.StatusCode {
+		case http.StatusOK:
+			if cr != nil {
+				cr.OK++
+			}
+			var p respProbe
+			if json.Unmarshal(body2, &p) == nil {
+				if p.Degraded {
+					rep.Degraded++
+					if cr != nil {
+						cr.Degraded++
+					}
+				}
+				if p.Cached {
+					rep.CacheHits++
+				}
+				if p.Batched {
+					rep.Batched++
+				}
+			}
+		case http.StatusTooManyRequests:
+			if cr != nil {
+				cr.Shed++
+			}
+			var p errProbe
+			if json.Unmarshal(body2, &p) == nil && p.Quota != "" {
+				rep.QuotaDenied++
+				if cr != nil {
+					cr.QuotaDenied++
+				}
 			}
 		}
 	}
@@ -215,11 +395,17 @@ loop:
 		case <-ticker.C:
 			rep.Offered++
 			t := pick()
+			body := pickBody(t)
+			tenant := pickTenant()
+			class := pickClass()
 			select {
 			case inflight <- struct{}{}:
 				rep.Sent++
+				if cr := rep.Classes[class]; cr != nil {
+					cr.Sent++
+				}
 				wg.Add(1)
-				go fire(t)
+				go fire(t, body, tenant, class)
 			default:
 				rep.Dropped++ // open loop: never block the clock
 			}
@@ -231,6 +417,9 @@ loop:
 	rep.LatencyMSP95 = lat.Quantile(0.95) / 1e6
 	rep.LatencyMSP99 = lat.Quantile(0.99) / 1e6
 	rep.LatencyMSMax = float64(lat.Summary().Max) / 1e6
+	for _, cr := range rep.Classes {
+		cr.LatencyMSP99 = cr.lat.Quantile(0.99) / 1e6
+	}
 	return rep, nil
 }
 
@@ -253,4 +442,25 @@ func DefaultMix(net, layer, precision string, scale int, seed int64) []Target {
 		{Name: "conformance", Path: "/v1/conformance", Weight: 1,
 			Body: fmt.Sprintf(`{"engine":"csc","cases":5,"seed":%d}`, seed)},
 	}
+}
+
+// MultiKeyMix is DefaultMix expanded to keys distinct request bodies per
+// target — the bodies differ only in seed (seed .. seed+keys-1), so each is
+// a distinct cache key with identical cost. Combined with Config.KeySkew
+// this produces the zipfian hot-key traffic the serving-scale experiments
+// measure: a handful of hot configurations served from cache, a long cold
+// tail exercising the compute path.
+func MultiKeyMix(net, layer, precision string, scale int, seed int64, keys int) []Target {
+	if keys < 1 {
+		keys = 1
+	}
+	base := DefaultMix(net, layer, precision, scale, seed)
+	for i := range base {
+		bodies := make([]string, keys)
+		for k := 0; k < keys; k++ {
+			bodies[k] = DefaultMix(net, layer, precision, scale, seed+int64(k))[i].Body
+		}
+		base[i].Bodies = bodies
+	}
+	return base
 }

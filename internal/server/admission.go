@@ -10,7 +10,10 @@ package server
 // configured threshold the expensive cycle-accurate simulations are
 // answered by the analytic model instead (flagged degraded), trading
 // fidelity for throughput exactly the way the paper's analytic model
-// stands in for the simulators.
+// stands in for the simulators. Both mechanisms are priority-class aware
+// (see tenant.go): the batch class has a bounded share of the waiting line
+// and degrades at the breaker's soft level, while interactive traffic owns
+// the full queue and only degrades at the hard level.
 
 import (
 	"context"
@@ -25,30 +28,53 @@ var errShed = errors.New("server: queue full, request shed")
 
 // admission is a bounded two-stage gate: at most MaxConcurrent requests
 // hold a worker slot, at most MaxQueue more wait for one. Everything beyond
-// that is shed immediately — never buffered.
+// that is shed immediately — never buffered. The waiting line is
+// class-aware: batch-class requests may occupy at most batchShare of the
+// queue places, so under mixed overload the batch class sheds first and
+// interactive traffic keeps the remaining headroom to itself.
 type admission struct {
-	slots    chan struct{}
-	maxQueue int64
-	queued   atomic.Int64
-	inflight atomic.Int64
+	slots       chan struct{}
+	maxQueue    int64
+	batchShare  int64
+	queued      atomic.Int64
+	queuedBatch atomic.Int64
+	inflight    atomic.Int64
 }
 
-func newAdmission(workers, queue int) *admission {
-	return &admission{slots: make(chan struct{}, workers), maxQueue: int64(queue)}
+func newAdmission(workers, queue, batchShare int) *admission {
+	return &admission{
+		slots:      make(chan struct{}, workers),
+		maxQueue:   int64(queue),
+		batchShare: int64(batchShare),
+	}
 }
 
 // admit blocks until a worker slot frees, the queue overflows (errShed), or
-// ctx is done. On success it returns the release function and how long the
-// request waited in the queue — the breaker's input signal.
-func (a *admission) admit(ctx context.Context) (release func(), wait time.Duration, err error) {
+// ctx is done. Batch-class requests are additionally shed once their class
+// share of the queue is exhausted. On success it returns the release
+// function and how long the request waited in the queue — the breaker's
+// input signal.
+func (a *admission) admit(ctx context.Context, class priorityClass) (release func(), wait time.Duration, err error) {
+	batch := class == classBatch
+	if batch && a.queuedBatch.Add(1) > a.batchShare {
+		a.queuedBatch.Add(-1)
+		return nil, 0, errShed
+	}
+	undoBatch := func() {
+		if batch {
+			a.queuedBatch.Add(-1)
+		}
+	}
 	if a.queued.Add(1) > a.maxQueue {
 		a.queued.Add(-1)
+		undoBatch()
 		return nil, 0, errShed
 	}
 	start := time.Now()
 	select {
 	case a.slots <- struct{}{}:
 		a.queued.Add(-1)
+		undoBatch()
 		a.inflight.Add(1)
 		return func() {
 			a.inflight.Add(-1)
@@ -56,6 +82,7 @@ func (a *admission) admit(ctx context.Context) (release func(), wait time.Durati
 		}, time.Since(start), nil
 	case <-ctx.Done():
 		a.queued.Add(-1)
+		undoBatch()
 		return nil, time.Since(start), ctx.Err()
 	}
 }
@@ -67,20 +94,44 @@ func (a *admission) depth() int64 { return a.queued.Load() + a.inflight.Load() }
 // Inflight reports requests currently holding a worker slot.
 func (a *admission) Inflight() int64 { return a.inflight.Load() }
 
-// breaker is a time-based degradation circuit breaker. A queue wait at or
-// above threshold opens it for cooldown; while open, sim requests take the
-// analytic path. Expiry is the half-open probe: the first slow wait after
-// cooldown re-opens it, a fast one leaves it closed. threshold <= 0
+// breaker is a two-level, time-based degradation circuit breaker. A queue
+// wait at or above threshold soft-opens it for cooldown; a wait at or above
+// hardFactor×threshold hard-opens it too. While soft-open, batch-class sim
+// requests take the analytic path; only a hard-open breaker degrades
+// interactive traffic — the per-class QoS ordering (batch degrades first).
+// Expiry is the half-open probe: the first slow wait after cooldown
+// re-opens the matching level, a fast one leaves it closed. threshold <= 0
 // disables the breaker entirely.
 type breaker struct {
-	threshold time.Duration
-	cooldown  time.Duration
-	openUntil atomic.Int64 // unix nanos; 0 = closed
-	trips     atomic.Int64
+	threshold  time.Duration
+	hardFactor int
+	cooldown   time.Duration
+	softUntil  atomic.Int64 // unix nanos; 0 = closed
+	hardUntil  atomic.Int64
+	trips      atomic.Int64
+	hardTrips  atomic.Int64
 }
 
-func newBreaker(threshold, cooldown time.Duration) *breaker {
-	return &breaker{threshold: threshold, cooldown: cooldown}
+func newBreaker(threshold time.Duration, hardFactor int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, hardFactor: hardFactor, cooldown: cooldown}
+}
+
+// openLevel extends until to now+cooldown, counting closed→open transitions
+// into trips.
+func openLevel(until *atomic.Int64, trips *atomic.Int64, now time.Time, cooldown time.Duration) {
+	target := now.Add(cooldown).UnixNano()
+	for {
+		cur := until.Load()
+		if target <= cur {
+			return // an earlier observation already opened further
+		}
+		if until.CompareAndSwap(cur, target) {
+			if cur < now.UnixNano() {
+				trips.Add(1) // closed → open transition
+			}
+			return
+		}
+	}
 }
 
 // observe feeds one admitted request's queue wait into the breaker.
@@ -89,26 +140,36 @@ func (b *breaker) observe(wait time.Duration) {
 		return
 	}
 	now := time.Now()
-	until := now.Add(b.cooldown).UnixNano()
-	for {
-		cur := b.openUntil.Load()
-		if until <= cur {
-			return // an earlier observation already opened further
-		}
-		if b.openUntil.CompareAndSwap(cur, until) {
-			if cur < now.UnixNano() {
-				b.trips.Add(1) // closed → open transition
-			}
-			return
-		}
+	openLevel(&b.softUntil, &b.trips, now, b.cooldown)
+	if wait >= b.threshold*time.Duration(b.hardFactor) {
+		openLevel(&b.hardUntil, &b.hardTrips, now, b.cooldown)
 	}
 }
 
-// open reports whether the breaker currently routes sim requests to the
-// analytic model.
+// open reports whether the breaker is at least soft-open (batch-class sim
+// requests currently degrade to the analytic model).
 func (b *breaker) open() bool {
-	return b.threshold > 0 && time.Now().UnixNano() < b.openUntil.Load()
+	return b.threshold > 0 && time.Now().UnixNano() < b.softUntil.Load()
 }
 
-// Trips reports closed→open transitions, for /metrics.
+// hardOpen reports whether queue waits crossed hardFactor×threshold —
+// the level at which even interactive sim requests degrade.
+func (b *breaker) hardOpen() bool {
+	return b.threshold > 0 && time.Now().UnixNano() < b.hardUntil.Load()
+}
+
+// degrade reports whether a sim request of the given class should be
+// answered by the analytic model: batch degrades while soft-open,
+// interactive only while hard-open.
+func (b *breaker) degrade(class priorityClass) bool {
+	if class == classBatch {
+		return b.open()
+	}
+	return b.hardOpen()
+}
+
+// Trips reports closed→soft-open transitions, for /metrics.
 func (b *breaker) Trips() int64 { return b.trips.Load() }
+
+// HardTrips reports closed→hard-open transitions, for /metrics.
+func (b *breaker) HardTrips() int64 { return b.hardTrips.Load() }

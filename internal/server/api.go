@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"strings"
@@ -16,7 +17,8 @@ import (
 type apiError struct {
 	Status     int    `json:"status"`
 	Msg        string `json:"error"`
-	RetryAfter int    `json:"-"` // seconds; > 0 emits a Retry-After header
+	Quota      string `json:"quota,omitempty"` // tenant whose token bucket was empty (429s only)
+	RetryAfter int    `json:"-"`               // seconds; > 0 emits a Retry-After header
 }
 
 func (e *apiError) Error() string { return e.Msg }
@@ -82,6 +84,16 @@ func (r *ModelRequest) validate(cfg *Config) *apiError {
 	return validateShape(r.Tiles, r.Mults, r.Gran, r.Balance, r.Scale)
 }
 
+// memoKey canonicalizes a validated model request into its cache identity:
+// every result-affecting field (defaults already applied by validate), with
+// the deadline — a pure execution bound — excluded.
+func (r *ModelRequest) memoKey() string {
+	c := *r
+	c.DeadlineMS = 0
+	b, _ := json.Marshal(c)
+	return "model|" + string(b)
+}
+
 // SimRequest asks the cycle-accurate lockstep core simulator for one layer —
 // the expensive rung. When the circuit breaker is open it is answered by the
 // analytic model instead, flagged degraded.
@@ -141,6 +153,16 @@ func (r *SimRequest) validate(cfg *Config) *apiError {
 			r.Layer, r.Scale, vol, cfg.MaxSimValues)
 	}
 	return nil
+}
+
+// memoKey canonicalizes a validated sim request into its batching identity:
+// requests with identical keys share one batch cell (the simulation is a
+// pure function of these fields; the deadline is excluded).
+func (r *SimRequest) memoKey() string {
+	c := *r
+	c.DeadlineMS = 0
+	b, _ := json.Marshal(c)
+	return "sim|" + string(b)
 }
 
 // precisionBits maps the uniform precision names to bit-widths.
@@ -228,6 +250,15 @@ func (r *QuantRequest) validate(cfg *Config) *apiError {
 	return nil
 }
 
+// memoKey canonicalizes a validated quant request into its cache identity
+// (deadline excluded; the sweep is a pure function of the rest).
+func (r *QuantRequest) memoKey() string {
+	c := *r
+	c.DeadlineMS = 0
+	b, _ := json.Marshal(c)
+	return "quant|" + string(b)
+}
+
 // ConformanceRequest spot-checks one engine (or all) against the dense
 // reference convolution over the seeded differential sweep.
 type ConformanceRequest struct {
@@ -276,6 +307,7 @@ type ModelResponse struct {
 	DRAMBytes int64    `json:"dram_bytes"`
 	Engine    string   `json:"engine"` // always "analytic"
 	Degraded  bool     `json:"degraded"`
+	Cached    bool     `json:"cached,omitempty"` // served from the memo cache
 	ElapsedMS float64  `json:"elapsed_ms"`
 }
 
@@ -294,6 +326,7 @@ type SimResponse struct {
 	Energy      EnergyPJ `json:"energy"`
 	Engine      string   `json:"engine"`
 	Degraded    bool     `json:"degraded"`
+	Batched     bool     `json:"batched,omitempty"` // shared a coalesced batch or cell
 	ElapsedMS   float64  `json:"elapsed_ms"`
 }
 
@@ -318,6 +351,7 @@ type QuantResponse struct {
 	Gran      int        `json:"gran"`
 	Rows      []QuantRow `json:"rows"`
 	Degraded  bool       `json:"degraded"`
+	Cached    bool       `json:"cached,omitempty"` // served from the memo cache
 	ElapsedMS float64    `json:"elapsed_ms"`
 }
 
@@ -346,3 +380,20 @@ func (r *ModelResponse) setElapsed(ms float64)       { r.ElapsedMS = ms }
 func (r *SimResponse) setElapsed(ms float64)         { r.ElapsedMS = ms }
 func (r *QuantResponse) setElapsed(ms float64)       { r.ElapsedMS = ms }
 func (r *ConformanceResponse) setElapsed(ms float64) { r.ElapsedMS = ms }
+
+// memoClone implements memoizable: a shallow copy with the volatile
+// envelope fields (cached, elapsed_ms) reset, so the cache stores pristine
+// payloads and every serve path stamps its own copy. Payload fields are
+// never mutated after construction, so sharing Rows between clones is safe.
+func (r *ModelResponse) memoClone(cached bool) memoizable {
+	c := *r
+	c.Cached, c.ElapsedMS = cached, 0
+	return &c
+}
+
+// memoClone implements memoizable for quant sweeps (see ModelResponse).
+func (r *QuantResponse) memoClone(cached bool) memoizable {
+	c := *r
+	c.Cached, c.ElapsedMS = cached, 0
+	return &c
+}

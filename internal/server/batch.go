@@ -1,0 +1,297 @@
+package server
+
+// This file holds /v1/sim request coalescing: compatible simulation
+// requests arriving within a short window are grouped into one shared
+// batch that holds a single admission slot and runs as one multi-cell
+// runner.MapCfg sweep. Identical requests inside a batch share one cell
+// (in-batch dedup), so a hot configuration is simulated once no matter how
+// many clients ask for it in the same window.
+//
+// Results fan out per cell the moment that cell finishes — each waiter
+// blocks on its own buffered channel with its own deadline — so one slow
+// or panicking batch member cannot stall the answers of the rest. Panics
+// stay isolated exactly as on the single-request path: the batch runs with
+// KeepGoing, a failed cell 500s only its own waiters.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+
+	"ristretto/internal/runner"
+	"ristretto/internal/telemetry"
+)
+
+// simOutcome is what a batch delivers to one waiter: exactly one of resp
+// (a per-waiter clone, safe to stamp) or aerr is set.
+type simOutcome struct {
+	resp *SimResponse
+	aerr *apiError
+}
+
+// simWaiter is one HTTP request waiting on a batched cell.
+type simWaiter struct {
+	ch chan simOutcome // buffered(1); the batch never blocks on delivery
+}
+
+// simCell is one distinct simulation inside a batch: the canonical key,
+// the validated request, the most privileged class among its waiters
+// (interactive wins — dedup must never demote a waiter's QoS), and the
+// waiters to fan the result out to.
+type simCell struct {
+	key     string
+	req     *SimRequest
+	class   priorityClass
+	waiters []*simWaiter
+	// deadlines collects every waiter's requested deadline_ms (0 = server
+	// default). The batch runs at the maximum so a tight-deadline waiter
+	// never clamps its batchmates' work — it just stops waiting early.
+	deadlines []int64
+	seq       int64 // fault-injection cell number (arrival order)
+	delivered bool  // set by deliver; reads are ordered by MapCfg's join
+}
+
+// deliver fans an outcome out to every waiter, cloning the response per
+// waiter so each handler can stamp its own envelope fields. It is
+// idempotent: a cell that already answered (inside its MapCfg cell) is not
+// answered again by the post-sweep error pass, so the buffered(1) waiter
+// channels never block.
+func (c *simCell) deliver(resp *SimResponse, aerr *apiError) {
+	if c.delivered {
+		return
+	}
+	c.delivered = true
+	for _, w := range c.waiters {
+		out := simOutcome{aerr: aerr}
+		if resp != nil {
+			cp := *resp
+			out.resp = &cp
+		}
+		w.ch <- out
+	}
+}
+
+// simBatch is one forming (then executing) batch.
+type simBatch struct {
+	cells []*simCell
+	byKey map[string]*simCell
+	timer *time.Timer
+	fired bool // guarded by the batcher's mu
+}
+
+// batcher collects sim requests into batches. A submit either joins the
+// forming batch (same key → shared cell; new key → new cell) or, when the
+// batch is full, fires it early and starts the next one. The window timer
+// fires a batch that fills slowly.
+type batcher struct {
+	mu       sync.Mutex
+	window   time.Duration
+	maxCells int
+	pending  *simBatch
+	run      func(*simBatch) // server execution hook
+
+	batches   *telemetry.Counter
+	coalesced *telemetry.Counter
+	dedup     *telemetry.Counter
+	cellsHist *telemetry.Histogram
+}
+
+// newBatcher builds a batcher firing batches through run.
+func newBatcher(window time.Duration, maxCells int, run func(*simBatch), r *telemetry.Registry) *batcher {
+	return &batcher{
+		window:    window,
+		maxCells:  maxCells,
+		run:       run,
+		batches:   r.Counter("server.batch.batches"),
+		coalesced: r.Counter("server.batch.coalesced"),
+		dedup:     r.Counter("server.batch.dedup"),
+		cellsHist: r.Histogram("server.batch.cells"),
+	}
+}
+
+// submit enqueues one request and returns the waiter its result arrives
+// on. seq is the request's fault-injection number.
+func (b *batcher) submit(key string, req *SimRequest, class priorityClass, seq int64) *simWaiter {
+	w := &simWaiter{ch: make(chan simOutcome, 1)}
+	b.mu.Lock()
+	if b.pending == nil {
+		b.pending = &simBatch{byKey: map[string]*simCell{}}
+		batch := b.pending
+		batch.timer = time.AfterFunc(b.window, func() { b.fire(batch) })
+	} else if cell, ok := b.pending.byKey[key]; ok {
+		// Identical request already in the batch: share its cell. Joining
+		// promotes, never demotes — the cell takes the most privileged
+		// class and the longest deadline among its waiters.
+		cell.waiters = append(cell.waiters, w)
+		cell.deadlines = append(cell.deadlines, req.DeadlineMS)
+		if class == classInteractive {
+			cell.class = classInteractive
+		}
+		b.dedup.Inc()
+		b.coalesced.Inc()
+		b.mu.Unlock()
+		return w
+	} else {
+		b.coalesced.Inc()
+	}
+	batch := b.pending
+	cell := &simCell{key: key, req: req, class: class, waiters: []*simWaiter{w},
+		deadlines: []int64{req.DeadlineMS}, seq: seq}
+	batch.cells = append(batch.cells, cell)
+	batch.byKey[key] = cell
+	if len(batch.cells) >= b.maxCells {
+		batch.timer.Stop()
+		b.pending = nil
+		b.mu.Unlock()
+		go b.fire(batch)
+		return w
+	}
+	b.mu.Unlock()
+	return w
+}
+
+// fire detaches the batch (if still pending) and executes it exactly once.
+// Both the window timer and an early full-batch submit can call fire; the
+// fired flag makes the race benign.
+func (b *batcher) fire(batch *simBatch) {
+	b.mu.Lock()
+	if batch.fired {
+		b.mu.Unlock()
+		return
+	}
+	batch.fired = true
+	if b.pending == batch {
+		b.pending = nil
+	}
+	b.mu.Unlock()
+	b.batches.Inc()
+	b.cellsHist.Observe(int64(len(batch.cells)))
+	b.run(batch)
+}
+
+// runBatch executes one fired batch inside the robustness envelope: one
+// admission slot (at the most privileged class present), breaker
+// observation, then a KeepGoing MapCfg sweep over the cells. Each cell
+// decides its own degradation rung from its class, and delivers to its
+// waiters the moment it finishes.
+func (s *Server) runBatch(batch *simBatch) {
+	class := classBatch
+	var maxDeadline time.Duration
+	for _, c := range batch.cells {
+		if c.class == classInteractive {
+			class = classInteractive
+		}
+		for _, dl := range c.deadlines {
+			if d := s.resolveDeadline(dl); d > maxDeadline {
+				maxDeadline = d
+			}
+		}
+	}
+	// The batch context is detached from any single client: one waiter
+	// disconnecting must not cancel its batchmates' work.
+	ctx, cancel := context.WithTimeout(context.Background(), maxDeadline)
+	defer cancel()
+
+	release, wait, err := s.adm.admit(ctx, class)
+	s.queueDepth.Observe(s.adm.depth())
+	if err != nil {
+		aerr := &apiError{Status: http.StatusServiceUnavailable, Msg: "request cancelled while queued", RetryAfter: 1}
+		if errors.Is(err, errShed) {
+			s.shed.Inc()
+			aerr = &apiError{Status: http.StatusTooManyRequests, Msg: "overloaded: queue full", RetryAfter: 1}
+			for _, c := range batch.cells {
+				s.class[c.class].shed.Add(int64(len(c.waiters)))
+			}
+		}
+		for _, c := range batch.cells {
+			c.deliver(nil, aerr)
+		}
+		return
+	}
+	defer release()
+	s.queueWait.Observe(wait.Nanoseconds())
+	s.brk.observe(wait)
+
+	cfg := runner.Cfg{Timeout: maxDeadline, KeepGoing: true}
+	if s.fault != nil {
+		cells := batch.cells
+		cfg.Fault = func(cell, attempt int) error { return s.fault(int(cells[cell].seq), attempt) }
+	}
+	workers := len(batch.cells)
+	if workers > s.cfg.MaxConcurrent {
+		workers = s.cfg.MaxConcurrent
+	}
+	shared := len(batch.cells) > 1
+	_, rerr := runner.MapCfg(ctx, runner.New(workers), cfg, len(batch.cells), func(i int) (struct{}, error) {
+		cell := batch.cells[i]
+		var resp *SimResponse
+		var err error
+		if s.brk.degrade(cell.class) {
+			s.degraded.Inc()
+			s.class[cell.class].degraded.Inc()
+			resp, err = s.runSimAnalytic(ctx, cell.req)
+		} else {
+			resp, err = s.runSimCore(ctx, cell.req)
+		}
+		if err != nil {
+			return struct{}{}, err
+		}
+		resp.Batched = shared || len(cell.waiters) > 1
+		cell.deliver(resp, nil)
+		return struct{}{}, nil
+	})
+	// Failed cells (panics, timeouts, injected faults) never delivered;
+	// answer their waiters with the classified error. Panic isolation is
+	// per cell: the rest of the batch already delivered normally.
+	for _, ce := range runner.AsCellErrors(rerr) {
+		batch.cells[ce.Cell].deliver(nil, s.classify(ce))
+	}
+	if rerr != nil && runner.AsCellErrors(rerr) == nil {
+		// Whole-batch failure (context expiry before any cell ran).
+		for _, c := range batch.cells {
+			c.deliver(nil, s.classify(rerr))
+		}
+	}
+}
+
+// awaitBatched blocks one sim handler on its batched cell's outcome,
+// enforcing the waiter's own deadline: a slow batchmate cannot stall this
+// response past the deadline this request asked for.
+func (s *Server) awaitBatched(w http.ResponseWriter, r *http.Request, tc tenantCtx, deadlineMS int64, start time.Time, sw *simWaiter) {
+	em := s.ep["sim"]
+	deadline := time.NewTimer(s.resolveDeadline(deadlineMS))
+	defer deadline.Stop()
+	select {
+	case out := <-sw.ch:
+		if out.aerr != nil {
+			s.fail(w, "sim", out.aerr)
+			return
+		}
+		em.ok.Inc()
+		s.class[tc.class].ok.Inc()
+		elapsed := time.Since(start)
+		em.latency.Observe(elapsed.Nanoseconds())
+		out.resp.setElapsed(float64(elapsed.Nanoseconds()) / 1e6)
+		writeJSON(w, http.StatusOK, out.resp)
+	case <-deadline.C:
+		s.timeouts.Inc()
+		s.fail(w, "sim", &apiError{Status: http.StatusGatewayTimeout, Msg: "deadline exceeded"})
+	case <-r.Context().Done():
+		s.fail(w, "sim", &apiError{Status: http.StatusServiceUnavailable, Msg: "client went away", RetryAfter: 1})
+	}
+}
+
+// resolveDeadline maps a request's deadline_ms to the effective wall-clock
+// bound: the server default when unset, capped at MaxDeadline.
+func (s *Server) resolveDeadline(deadlineMS int64) time.Duration {
+	d := s.cfg.DefaultDeadline
+	if deadlineMS > 0 {
+		d = time.Duration(deadlineMS) * time.Millisecond
+		if d > s.cfg.MaxDeadline {
+			d = s.cfg.MaxDeadline
+		}
+	}
+	return d
+}

@@ -1,0 +1,244 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ristretto/internal/faultinject"
+	"ristretto/internal/telemetry"
+)
+
+// TestBatchCoalesceIdentical proves a burst of identical /v1/sim requests
+// collapses into one shared cell: one batch, one simulation, every waiter
+// answered with the same flagged-batched payload.
+func TestBatchCoalesceIdentical(t *testing.T) {
+	var reg *telemetry.Registry
+	_, ts := newTestServer(t, func(c *Config) {
+		reg = c.Registry
+		c.BatchWindow = 50 * time.Millisecond
+	})
+
+	const n = 8
+	bodies := make([][]byte, n)
+	statuses := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/sim", "application/json",
+				strings.NewReader(`{"net":"AlexNet","layer":"conv1","precision":"4b","scale":32,"seed":2}`))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			statuses[i] = resp.StatusCode
+			buf := new(bytes.Buffer)
+			buf.ReadFrom(resp.Body)
+			bodies[i] = buf.Bytes()
+		}(i)
+	}
+	wg.Wait()
+
+	var wantCycles int64 = -1
+	for i := 0; i < n; i++ {
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("request %d = %d: %s", i, statuses[i], bodies[i])
+		}
+		var sr SimResponse
+		if err := json.Unmarshal(bodies[i], &sr); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if !sr.Batched {
+			t.Fatalf("request %d not flagged batched: %s", i, bodies[i])
+		}
+		if wantCycles < 0 {
+			wantCycles = sr.Cycles
+		} else if sr.Cycles != wantCycles {
+			t.Fatalf("request %d cycles %d != %d (shared cell must share the result)", i, sr.Cycles, wantCycles)
+		}
+	}
+	snap := reg.Snapshot()
+	if b := snap.Counters["server.batch.batches"]; b != 1 {
+		t.Fatalf("batches = %d, want 1", b)
+	}
+	if d := snap.Counters["server.batch.dedup"]; d != n-1 {
+		t.Fatalf("dedup = %d, want %d", d, n-1)
+	}
+}
+
+// TestBatchDistinctKeys proves distinct simulations coalesce into one
+// shared sweep (one batch, one admission) while each waiter gets its own
+// configuration's result.
+func TestBatchDistinctKeys(t *testing.T) {
+	var reg *telemetry.Registry
+	_, ts := newTestServer(t, func(c *Config) {
+		reg = c.Registry
+		c.BatchWindow = 50 * time.Millisecond
+	})
+
+	reqs := []string{
+		`{"net":"AlexNet","layer":"conv1","precision":"4b","scale":32,"seed":2}`,
+		`{"net":"AlexNet","layer":"conv2","precision":"4b","scale":32,"seed":2}`,
+	}
+	layers := make([]string, len(reqs))
+	var wg sync.WaitGroup
+	for i, body := range reqs {
+		wg.Add(1)
+		go func(i int, body string) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/sim", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			var sr SimResponse
+			if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			if !sr.Batched {
+				t.Errorf("request %d not flagged batched", i)
+			}
+			layers[i] = sr.Layer
+		}(i, body)
+	}
+	wg.Wait()
+
+	if layers[0] != "conv1" || layers[1] != "conv2" {
+		t.Fatalf("waiters got wrong cells: %v", layers)
+	}
+	snap := reg.Snapshot()
+	if b := snap.Counters["server.batch.batches"]; b != 1 {
+		t.Fatalf("batches = %d, want 1 (distinct keys share a sweep)", b)
+	}
+	if c := snap.Counters["server.batch.coalesced"]; c != 1 {
+		t.Fatalf("coalesced = %d, want 1", c)
+	}
+}
+
+// TestBatchWaiterDeadline proves deadline fan-out: two waiters share one
+// slow cell, and the one with a 1ms deadline gets its 504 on time while
+// its batchmate with a generous deadline gets the result.
+func TestBatchWaiterDeadline(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) {
+		c.BatchWindow = 50 * time.Millisecond
+		c.Fault = faultinject.New(faultinject.Spec{Seed: 1, DelayProb: 1, Delay: 200 * time.Millisecond})
+	})
+
+	type result struct {
+		status  int
+		elapsed time.Duration
+	}
+	results := make([]result, 2)
+	deadlines := []string{"1", "5000"}
+	var wg sync.WaitGroup
+	for i, dl := range deadlines {
+		wg.Add(1)
+		go func(i int, dl string) {
+			defer wg.Done()
+			start := time.Now()
+			resp, err := http.Post(ts.URL+"/v1/sim", "application/json",
+				strings.NewReader(`{"net":"AlexNet","layer":"conv1","precision":"4b","scale":32,"seed":2,"deadline_ms":`+dl+`}`))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			resp.Body.Close()
+			results[i] = result{resp.StatusCode, time.Since(start)}
+		}(i, dl)
+	}
+	wg.Wait()
+
+	if results[0].status != http.StatusGatewayTimeout {
+		t.Fatalf("tight-deadline waiter = %d, want 504", results[0].status)
+	}
+	if results[0].elapsed > 150*time.Millisecond {
+		t.Fatalf("tight-deadline waiter stalled %v behind its slow batchmate", results[0].elapsed)
+	}
+	if results[1].status != http.StatusOK {
+		t.Fatalf("patient waiter = %d, want 200", results[1].status)
+	}
+}
+
+// TestBatchDisabled proves BatchWindow < 0 restores the direct sim path:
+// responses are never flagged batched.
+func TestBatchDisabled(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) { c.BatchWindow = -1 })
+	if s.batch != nil {
+		t.Fatal("batcher built despite BatchWindow < 0")
+	}
+	resp, b := post(t, ts, "/v1/sim", `{"net":"AlexNet","layer":"conv1","precision":"4b","scale":32,"seed":2}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sim = %d: %s", resp.StatusCode, b)
+	}
+	if bytes.Contains(b, []byte(`"batched":true`)) {
+		t.Fatalf("response flagged batched with batching disabled: %s", b)
+	}
+}
+
+// TestBatchPanicIsolation proves a panicking cell 500s only its own
+// waiters: its batchmate's distinct simulation still answers 200.
+func TestBatchPanicIsolation(t *testing.T) {
+	// Cell numbering is arrival order; seed 2 at p=0.5 panics cell 1 and
+	// spares cell 2 (the schedule is deterministic in (seed, cell)).
+	_, ts := newTestServer(t, func(c *Config) {
+		c.BatchWindow = 50 * time.Millisecond
+		c.Fault = faultinject.New(faultinject.Spec{Seed: 2, Panic: 0.5})
+	})
+
+	// Sequential submits inside one window give deterministic seq numbers.
+	type out struct {
+		status int
+		body   []byte
+	}
+	results := make(chan out, 2)
+	var wg sync.WaitGroup
+	for _, body := range []string{
+		`{"net":"AlexNet","layer":"conv1","precision":"4b","scale":32,"seed":2}`,
+		`{"net":"AlexNet","layer":"conv2","precision":"4b","scale":32,"seed":2}`,
+	} {
+		wg.Add(1)
+		go func(body string) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/sim", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Errorf("request: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			buf := new(bytes.Buffer)
+			buf.ReadFrom(resp.Body)
+			results <- out{resp.StatusCode, buf.Bytes()}
+		}(body)
+		time.Sleep(10 * time.Millisecond) // deterministic arrival order
+	}
+	wg.Wait()
+	close(results)
+
+	var codes []int
+	for r := range results {
+		codes = append(codes, r.status)
+	}
+	var okN, failN int
+	for _, c := range codes {
+		switch c {
+		case http.StatusOK:
+			okN++
+		case http.StatusInternalServerError:
+			failN++
+		default:
+			t.Fatalf("unexpected status %d (want 200 or 500), all: %v", c, codes)
+		}
+	}
+	if okN != 1 || failN != 1 {
+		t.Fatalf("statuses %v: want exactly one 200 and one isolated 500", codes)
+	}
+}

@@ -24,6 +24,10 @@ func TestOverloadSheds(t *testing.T) {
 	s, ts := newTestServer(t, func(c *Config) {
 		c.MaxConcurrent = 2
 		c.MaxQueue = 2
+		// Disable memoization: this test hammers one identical body, which
+		// the cache would collapse into a single computation instead of
+		// exercising the admission gate.
+		c.CacheEntries = -1
 		c.Fault = faultinject.New(faultinject.Spec{Seed: 1, DelayProb: 1, Delay: 150 * time.Millisecond})
 	})
 

@@ -7,6 +7,17 @@
 //
 //   - strict request validation with a body-size limit (unknown fields and
 //     out-of-range parameters are 400s, oversized bodies 413s);
+//   - multi-tenant QoS: per-tenant token-bucket quotas (X-Tenant) and two
+//     priority classes (X-Priority: interactive|batch) — batch traffic is
+//     quota-denied, queue-shed and fidelity-degraded before interactive
+//     traffic (see tenant.go);
+//   - memoization: /v1/model and /v1/quant are pure functions of their
+//     canonicalized request, so hot configurations are answered from a
+//     content-keyed LRU + singleflight cache in microseconds without
+//     touching the admission queue (see cache.go);
+//   - coalescing: compatible /v1/sim requests arriving within the batch
+//     window share one admission slot and one multi-cell sweep, with
+//     per-waiter deadline fan-out (see batch.go);
 //   - admission control over a bounded queue — at most MaxConcurrent
 //     requests compute, at most MaxQueue wait, everything beyond is shed
 //     synchronously with 429 + Retry-After so memory stays bounded at
@@ -76,6 +87,30 @@ type Config struct {
 	MaxQuantSamples int64
 	// MaxConformanceCases caps one conformance request's sweep; 0 = 200.
 	MaxConformanceCases int
+	// CacheEntries bounds the /v1/model + /v1/quant memo cache (LRU);
+	// 0 = 4096. Negative disables memoization.
+	CacheEntries int
+	// BatchWindow is how long a /v1/sim request waits for batchmates
+	// before its batch fires; 0 = 1ms. Negative disables coalescing.
+	BatchWindow time.Duration
+	// MaxBatch caps distinct simulations per batch; 0 = 16.
+	MaxBatch int
+	// BatchQueueShare caps the admission-queue places the batch priority
+	// class may occupy, so batch sheds before interactive under mixed
+	// overload; 0 = MaxQueue/2 (minimum 1).
+	BatchQueueShare int
+	// BreakerHardFactor scales BreakerThreshold up to the hard-open level
+	// at which even interactive sim requests degrade (batch degrades at
+	// the soft level, i.e. BreakerThreshold itself); 0 = 4.
+	BreakerHardFactor int
+	// TenantRate is each tenant's token-bucket refill in requests/second;
+	// 0 disables quotas entirely.
+	TenantRate float64
+	// TenantBurst is each tenant's bucket capacity; 0 = max(1, TenantRate).
+	TenantBurst float64
+	// MaxTenants bounds tracked tenant buckets (overflow tenants share one
+	// bucket); 0 = 10000.
+	MaxTenants int
 	// Fault, when non-nil, injects the schedule into request handling:
 	// each request is one cell (in arrival order), so seed-deterministic
 	// panics/transients/delays exercise the isolation machinery under
@@ -120,6 +155,33 @@ func (c Config) withDefaults() Config {
 	if c.MaxConformanceCases <= 0 {
 		c.MaxConformanceCases = 200
 	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.BatchQueueShare <= 0 {
+		c.BatchQueueShare = c.MaxQueue / 2
+		if c.BatchQueueShare < 1 {
+			c.BatchQueueShare = 1
+		}
+	}
+	if c.BreakerHardFactor <= 0 {
+		c.BreakerHardFactor = 4
+	}
+	if c.TenantBurst <= 0 {
+		c.TenantBurst = c.TenantRate
+		if c.TenantBurst < 1 {
+			c.TenantBurst = 1
+		}
+	}
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = 10_000
+	}
 	if c.Registry == nil {
 		c.Registry = telemetry.Default
 	}
@@ -142,6 +204,10 @@ type Server struct {
 	reg      *telemetry.Registry
 	adm      *admission
 	brk      *breaker
+	memo     *memoCache // nil when memoization is disabled
+	batch    *batcher   // nil when coalescing is disabled
+	quota    *quotaTable
+	class    map[priorityClass]*classMetrics
 	fault    func(cell, attempt int) error
 	seq      atomic.Int64
 	draining atomic.Bool
@@ -153,8 +219,10 @@ type Server struct {
 	panics       *telemetry.Counter
 	timeouts     *telemetry.Counter
 	drainRejects *telemetry.Counter
+	quotaDenied  *telemetry.Counter
 	queueWait    *telemetry.Histogram
 	queueDepth   *telemetry.Histogram
+	tenants      *telemetry.Gauge
 }
 
 // New builds a server from the config and enables its metrics registry.
@@ -165,18 +233,21 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		reg:     r,
-		adm:     newAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
-		brk:     newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		adm:     newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.BatchQueueShare),
+		brk:     newBreaker(cfg.BreakerThreshold, cfg.BreakerHardFactor, cfg.BreakerCooldown),
 		started: time.Now(),
 		ep:      map[string]*epMetrics{},
+		class:   map[priorityClass]*classMetrics{},
 
 		shed:         r.Counter("server.shed"),
 		degraded:     r.Counter("server.degraded"),
 		panics:       r.Counter("server.panics_recovered"),
 		timeouts:     r.Counter("server.deadline_timeouts"),
 		drainRejects: r.Counter("server.drain_rejects"),
+		quotaDenied:  r.Counter("server.quota.denied"),
 		queueWait:    r.Histogram("server.queue_wait_ns"),
 		queueDepth:   r.Histogram("server.queue_depth"),
+		tenants:      r.Gauge("server.quota.tenants"),
 	}
 	for _, ep := range []string{"model", "sim", "quant", "conformance"} {
 		s.ep[ep] = &epMetrics{
@@ -185,6 +256,24 @@ func New(cfg Config) *Server {
 			errs:     r.Counter("server." + ep + ".errors"),
 			latency:  r.Histogram("server." + ep + ".latency_ns"),
 		}
+	}
+	for _, c := range []priorityClass{classInteractive, classBatch} {
+		n := c.String()
+		s.class[c] = &classMetrics{
+			requests: r.Counter("server.class." + n + ".requests"),
+			shed:     r.Counter("server.class." + n + ".shed"),
+			degraded: r.Counter("server.class." + n + ".degraded"),
+			ok:       r.Counter("server.class." + n + ".ok"),
+		}
+	}
+	if cfg.CacheEntries > 0 {
+		s.memo = newMemoCache(cfg.CacheEntries, r)
+	}
+	if cfg.BatchWindow > 0 {
+		s.batch = newBatcher(cfg.BatchWindow, cfg.MaxBatch, s.runBatch, r)
+	}
+	if cfg.TenantRate > 0 {
+		s.quota = newQuotaTable(cfg.TenantRate, cfg.TenantBurst, cfg.MaxTenants)
 	}
 	if cfg.Fault != nil {
 		s.fault = cfg.Fault.Hook()
@@ -236,25 +325,54 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // MetricsResponse is the /metrics payload: the registry snapshot plus the
 // live gauges a scraper cannot derive from counters.
 type MetricsResponse struct {
-	UptimeSeconds float64            `json:"uptime_seconds"`
-	Draining      bool               `json:"draining"`
-	BreakerOpen   bool               `json:"breaker_open"`
-	BreakerTrips  int64              `json:"breaker_trips"`
-	QueueDepth    int64              `json:"queue_depth"`
-	Inflight      int64              `json:"inflight"`
-	Snapshot      telemetry.Snapshot `json:"snapshot"`
+	UptimeSeconds   float64            `json:"uptime_seconds"`
+	Draining        bool               `json:"draining"`
+	BreakerOpen     bool               `json:"breaker_open"`
+	BreakerHardOpen bool               `json:"breaker_hard_open"`
+	BreakerTrips    int64              `json:"breaker_trips"`
+	BreakerHard     int64              `json:"breaker_hard_trips"`
+	QueueDepth      int64              `json:"queue_depth"`
+	Inflight        int64              `json:"inflight"`
+	CacheEntries    int64              `json:"cache_entries"`
+	Snapshot        telemetry.Snapshot `json:"snapshot"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var cacheLen int64
+	if s.memo != nil {
+		cacheLen = int64(s.memo.len())
+	}
+	s.tenants.Set(s.quota.tracked())
 	writeJSON(w, http.StatusOK, MetricsResponse{
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		Draining:      s.draining.Load(),
-		BreakerOpen:   s.brk.open(),
-		BreakerTrips:  s.brk.Trips(),
-		QueueDepth:    s.adm.depth(),
-		Inflight:      s.adm.Inflight(),
-		Snapshot:      s.reg.Snapshot(),
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+		Draining:        s.draining.Load(),
+		BreakerOpen:     s.brk.open(),
+		BreakerHardOpen: s.brk.hardOpen(),
+		BreakerTrips:    s.brk.Trips(),
+		BreakerHard:     s.brk.HardTrips(),
+		QueueDepth:      s.adm.depth(),
+		Inflight:        s.adm.Inflight(),
+		CacheEntries:    cacheLen,
+		Snapshot:        s.reg.Snapshot(),
 	})
+}
+
+// admitQoS classifies the request's tenant/class and spends a quota token.
+// It reports false after writing the error response itself.
+func (s *Server) admitQoS(w http.ResponseWriter, r *http.Request, ep string) (tenantCtx, bool) {
+	tc, aerr := classify(r)
+	if aerr != nil {
+		s.fail(w, ep, aerr)
+		return tc, false
+	}
+	s.class[tc.class].requests.Inc()
+	if !s.quota.take(tc.tenant) {
+		s.quotaDenied.Inc()
+		s.fail(w, ep, &apiError{Status: http.StatusTooManyRequests,
+			Msg: "tenant quota exhausted", Quota: tc.tenant, RetryAfter: 1})
+		return tc, false
+	}
+	return tc, true
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
@@ -266,7 +384,11 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, "model", aerr)
 		return
 	}
-	s.execute(w, r, "model", req.DeadlineMS, func(ctx context.Context) (any, error) {
+	tc, ok := s.admitQoS(w, r, "model")
+	if !ok {
+		return
+	}
+	s.serveMemoized(w, r, "model", tc, req.DeadlineMS, req.memoKey(), func(ctx context.Context) (any, error) {
 		return s.runModel(ctx, &req)
 	})
 }
@@ -280,13 +402,29 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, "sim", aerr)
 		return
 	}
-	s.execute(w, r, "sim", req.DeadlineMS, func(ctx context.Context) (any, error) {
+	tc, ok := s.admitQoS(w, r, "sim")
+	if !ok {
+		return
+	}
+	if s.batch != nil {
+		start := time.Now()
+		var seq int64
+		if s.fault != nil {
+			seq = s.seq.Add(1)
+		}
+		sw := s.batch.submit(req.memoKey(), &req, tc.class, seq)
+		s.awaitBatched(w, r, tc, req.DeadlineMS, start, sw)
+		return
+	}
+	s.execute(w, r, "sim", tc, req.DeadlineMS, func(ctx context.Context) (any, error) {
 		// The breaker is consulted after admission, inside the isolated
 		// cell: the queue wait this request just experienced has already
 		// been observed, so an overloaded daemon degrades the very request
-		// that found the queue slow.
-		if s.brk.open() {
+		// that found the queue slow. Degradation is class-ordered: batch
+		// degrades at the soft level, interactive only at the hard level.
+		if s.brk.degrade(tc.class) {
 			s.degraded.Inc()
+			s.class[tc.class].degraded.Inc()
 			return s.runSimAnalytic(ctx, &req)
 		}
 		return s.runSimCore(ctx, &req)
@@ -302,7 +440,11 @@ func (s *Server) handleQuant(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, "quant", aerr)
 		return
 	}
-	s.execute(w, r, "quant", req.DeadlineMS, func(ctx context.Context) (any, error) {
+	tc, ok := s.admitQoS(w, r, "quant")
+	if !ok {
+		return
+	}
+	s.serveMemoized(w, r, "quant", tc, req.DeadlineMS, req.memoKey(), func(ctx context.Context) (any, error) {
 		return s.runQuant(ctx, &req)
 	})
 }
@@ -316,7 +458,11 @@ func (s *Server) handleConformance(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, "conformance", aerr)
 		return
 	}
-	s.execute(w, r, "conformance", req.DeadlineMS, func(ctx context.Context) (any, error) {
+	tc, ok := s.admitQoS(w, r, "conformance")
+	if !ok {
+		return
+	}
+	s.execute(w, r, "conformance", tc, req.DeadlineMS, func(ctx context.Context) (any, error) {
 		return s.runConformance(ctx, &req)
 	})
 }
@@ -355,35 +501,26 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, ep string, req a
 	return true
 }
 
-// execute runs one validated request through the robustness envelope:
-// admission (shed on overflow), breaker observation, deadline, and the
-// one-cell runner call that isolates panics and enforces the timeout.
-func (s *Server) execute(w http.ResponseWriter, r *http.Request, ep string, deadlineMS int64, work func(ctx context.Context) (any, error)) {
-	em := s.ep[ep]
-	start := time.Now()
-
-	release, wait, err := s.adm.admit(r.Context())
+// compute runs one validated request through the robustness envelope:
+// class-aware admission (shed on overflow), breaker observation, deadline,
+// and the one-cell runner call that isolates panics and enforces the
+// timeout. It returns the computed value or the failure to answer with.
+func (s *Server) compute(r *http.Request, tc tenantCtx, deadlineMS int64, work func(ctx context.Context) (any, error)) (any, *apiError) {
+	release, wait, err := s.adm.admit(r.Context(), tc.class)
 	s.queueDepth.Observe(s.adm.depth())
 	switch {
 	case errors.Is(err, errShed):
 		s.shed.Inc()
-		s.fail(w, ep, &apiError{Status: http.StatusTooManyRequests, Msg: "overloaded: queue full", RetryAfter: 1})
-		return
+		s.class[tc.class].shed.Inc()
+		return nil, &apiError{Status: http.StatusTooManyRequests, Msg: "overloaded: queue full", RetryAfter: 1}
 	case err != nil: // client gave up while queued
-		s.fail(w, ep, &apiError{Status: http.StatusServiceUnavailable, Msg: "request cancelled while queued", RetryAfter: 1})
-		return
+		return nil, &apiError{Status: http.StatusServiceUnavailable, Msg: "request cancelled while queued", RetryAfter: 1}
 	}
 	defer release()
 	s.queueWait.Observe(wait.Nanoseconds())
 	s.brk.observe(wait)
 
-	d := s.cfg.DefaultDeadline
-	if deadlineMS > 0 {
-		d = time.Duration(deadlineMS) * time.Millisecond
-		if d > s.cfg.MaxDeadline {
-			d = s.cfg.MaxDeadline
-		}
-	}
+	d := s.resolveDeadline(deadlineMS)
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
 
@@ -396,16 +533,86 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, ep string, dead
 		return work(ctx)
 	})
 	if rerr != nil {
-		s.fail(w, ep, s.classify(rerr))
-		return
+		return nil, s.classify(rerr)
 	}
+	return res[0], nil
+}
+
+// finish stamps the envelope fields and writes a successful response.
+func (s *Server) finish(w http.ResponseWriter, ep string, tc tenantCtx, start time.Time, res any) {
+	em := s.ep[ep]
 	em.ok.Inc()
+	s.class[tc.class].ok.Inc()
 	elapsed := time.Since(start)
 	em.latency.Observe(elapsed.Nanoseconds())
-	if es, ok := res[0].(elapsedSetter); ok {
+	if es, ok := res.(elapsedSetter); ok {
 		es.setElapsed(float64(elapsed.Nanoseconds()) / 1e6)
 	}
-	writeJSON(w, http.StatusOK, res[0])
+	writeJSON(w, http.StatusOK, res)
+}
+
+// execute is the cold, uncached request path: compute inside the envelope,
+// then answer.
+func (s *Server) execute(w http.ResponseWriter, r *http.Request, ep string, tc tenantCtx, deadlineMS int64, work func(ctx context.Context) (any, error)) {
+	start := time.Now()
+	res, aerr := s.compute(r, tc, deadlineMS, work)
+	if aerr != nil {
+		s.fail(w, ep, aerr)
+		return
+	}
+	s.finish(w, ep, tc, start, res)
+}
+
+// serveMemoized answers a pure-function request through the memo cache:
+// hits are served from the stored pristine value in microseconds without
+// touching admission; misses elect one leader through the full compute
+// envelope while concurrent identical requests wait on the in-flight
+// result with their own deadlines.
+func (s *Server) serveMemoized(w http.ResponseWriter, r *http.Request, ep string, tc tenantCtx, deadlineMS int64, key string, work func(ctx context.Context) (any, error)) {
+	if s.memo == nil {
+		s.execute(w, r, ep, tc, deadlineMS, work)
+		return
+	}
+	start := time.Now()
+	if v, ok := s.memo.get(key); ok {
+		s.finish(w, ep, tc, start, v.memoClone(true))
+		return
+	}
+	fl, v, leader := s.memo.join(key)
+	if !leader {
+		if v != nil { // filled while we raced to join
+			s.finish(w, ep, tc, start, v.memoClone(true))
+			return
+		}
+		deadline := time.NewTimer(s.resolveDeadline(deadlineMS))
+		defer deadline.Stop()
+		select {
+		case <-fl.done:
+			if fl.aerr != nil {
+				s.fail(w, ep, fl.aerr)
+				return
+			}
+			s.finish(w, ep, tc, start, fl.val.memoClone(true))
+		case <-deadline.C:
+			s.timeouts.Inc()
+			s.fail(w, ep, &apiError{Status: http.StatusGatewayTimeout, Msg: "deadline exceeded"})
+		case <-r.Context().Done():
+			s.fail(w, ep, &apiError{Status: http.StatusServiceUnavailable, Msg: "client went away", RetryAfter: 1})
+		}
+		return
+	}
+	res, aerr := s.compute(r, tc, deadlineMS, work)
+	if aerr != nil {
+		s.memo.complete(key, fl, nil, aerr)
+		s.fail(w, ep, aerr)
+		return
+	}
+	var pristine memoizable
+	if m, ok := res.(memoizable); ok {
+		pristine = m.memoClone(false)
+	}
+	s.memo.complete(key, fl, pristine, nil)
+	s.finish(w, ep, tc, start, res)
 }
 
 // classify maps a runner failure to its HTTP shape: recovered panics are

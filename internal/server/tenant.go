@@ -1,0 +1,156 @@
+package server
+
+// This file holds the multi-tenant QoS layer: request classification
+// (tenant identity and priority class from headers) and per-tenant
+// token-bucket quotas. Together with the class-aware admission queue
+// (admission.go) and the two-level breaker they turn the PR 5 global
+// robustness envelope into a per-class policy: batch traffic is the first
+// to be quota-denied, the first to be shed when the queue fills, and the
+// first to be degraded to the analytic model — interactive traffic keeps
+// cycle-sim fidelity until the daemon is hard-overloaded.
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"ristretto/internal/telemetry"
+)
+
+// priorityClass is a request's scheduling class. Interactive is the
+// default and the privileged class; batch is the best-effort class that
+// sheds and degrades first.
+type priorityClass int
+
+const (
+	classInteractive priorityClass = iota
+	classBatch
+)
+
+// String returns the class's wire name ("interactive" or "batch").
+func (c priorityClass) String() string {
+	if c == classBatch {
+		return "batch"
+	}
+	return "interactive"
+}
+
+// TenantHeader and PriorityHeader are the request headers carrying the
+// multi-tenant QoS contract. Absent headers select the default tenant and
+// the interactive class, so single-tenant clients need no changes.
+const (
+	TenantHeader   = "X-Tenant"
+	PriorityHeader = "X-Priority"
+)
+
+// defaultTenant is the bucket identity used when no X-Tenant header is sent.
+const defaultTenant = "default"
+
+// tenantCtx is one request's resolved QoS identity.
+type tenantCtx struct {
+	tenant string
+	class  priorityClass
+}
+
+// classify resolves a request's tenant and priority class from its headers.
+// An unknown priority value is a client error (400).
+func classify(r *http.Request) (tenantCtx, *apiError) {
+	tc := tenantCtx{tenant: defaultTenant, class: classInteractive}
+	if t := r.Header.Get(TenantHeader); t != "" {
+		if len(t) > 128 {
+			return tc, badRequest("%s header over 128 bytes", TenantHeader)
+		}
+		tc.tenant = t
+	}
+	switch p := strings.ToLower(r.Header.Get(PriorityHeader)); p {
+	case "", "interactive":
+	case "batch":
+		tc.class = classBatch
+	default:
+		return tc, badRequest("invalid %s %q (allowed: interactive, batch)", PriorityHeader, p)
+	}
+	return tc, nil
+}
+
+// bucket is one tenant's token-bucket state, refilled lazily on access.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// quotaTable holds the per-tenant token buckets. Every tenant gets the same
+// rate/burst (per-tenant overrides would live here); tenant cardinality is
+// bounded by maxTenants — tenants beyond the bound share one overflow
+// bucket so the table's memory stays O(maxTenants) under tenant-name abuse.
+type quotaTable struct {
+	mu         sync.Mutex
+	rate       float64 // tokens per second; <= 0 disables quotas entirely
+	burst      float64
+	maxTenants int
+	m          map[string]*bucket
+	now        func() time.Time // test hook; nil = time.Now
+}
+
+// overflowTenant is the shared bucket identity for tenants beyond the
+// cardinality bound.
+const overflowTenant = "\x00overflow"
+
+func newQuotaTable(rate, burst float64, maxTenants int) *quotaTable {
+	return &quotaTable{rate: rate, burst: burst, maxTenants: maxTenants, m: map[string]*bucket{}}
+}
+
+// take spends one token from the tenant's bucket, reporting false when the
+// bucket is empty (the request should be quota-denied with 429). A nil or
+// disabled table admits everything.
+func (q *quotaTable) take(tenant string) bool {
+	if q == nil || q.rate <= 0 {
+		return true
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := time.Now()
+	if q.now != nil {
+		now = q.now()
+	}
+	b, ok := q.m[tenant]
+	if !ok {
+		if len(q.m) >= q.maxTenants {
+			tenant = overflowTenant
+			b = q.m[tenant]
+		}
+		if b == nil {
+			b = &bucket{tokens: q.burst, last: now}
+			q.m[tenant] = b
+		}
+	}
+	b.tokens += q.rate * now.Sub(b.last).Seconds()
+	if b.tokens > q.burst {
+		b.tokens = q.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// tracked reports how many tenant buckets currently exist, for /metrics.
+func (q *quotaTable) tracked() int64 {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return int64(len(q.m))
+}
+
+// classMetrics are one priority class's counters, resolved at construction
+// so the request path never touches the registry map.
+type classMetrics struct {
+	requests *telemetry.Counter
+	shed     *telemetry.Counter
+	degraded *telemetry.Counter
+	ok       *telemetry.Counter
+}

@@ -43,6 +43,22 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
+// Gauge is a last-write-wins instantaneous metric: a level (queue depth,
+// cache entries, tracked tenants) rather than a flow. The zero value is
+// ready to use; Set/Add/Load are lock-free and safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's current level.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge's level by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
 // histBuckets is the fixed bucket count of a Histogram: bucket i holds
 // observations v with bits.Len64(v) == i, i.e. power-of-two ranges
 // [2^(i-1), 2^i). Bucket 0 holds zero (and clamped negative) observations.
@@ -201,6 +217,7 @@ type Registry struct {
 	enabled    atomic.Bool
 	counters   sync.Map // string → *Counter
 	histograms sync.Map // string → *Histogram
+	gauges     sync.Map // string → *Gauge
 }
 
 // NewRegistry returns an empty, disabled registry.
@@ -237,11 +254,22 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return v.(*Histogram)
 }
 
+// Gauge returns the gauge registered under name, creating it on first use.
+// The returned handle is stable for the registry's lifetime.
+func (r *Registry) Gauge(name string) *Gauge {
+	if v, ok := r.gauges.Load(name); ok {
+		return v.(*Gauge)
+	}
+	v, _ := r.gauges.LoadOrStore(name, &Gauge{})
+	return v.(*Gauge)
+}
+
 // Snapshot is a point-in-time copy of every metric in a registry, with
 // deterministically ordered names (see Names).
 type Snapshot struct {
 	Counters   map[string]int64            `json:"counters,omitempty"`
 	Histograms map[string]HistogramSummary `json:"histograms,omitempty"`
+	Gauges     map[string]int64            `json:"gauges,omitempty"`
 }
 
 // Snapshot copies the current value of every registered metric.
@@ -261,6 +289,13 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Histograms[k.(string)] = v.(*Histogram).Summary()
 		return true
 	})
+	r.gauges.Range(func(k, v any) bool {
+		if s.Gauges == nil {
+			s.Gauges = map[string]int64{}
+		}
+		s.Gauges[k.(string)] = v.(*Gauge).Load()
+		return true
+	})
 	return s
 }
 
@@ -270,6 +305,7 @@ func (r *Registry) Snapshot() Snapshot {
 func (r *Registry) Reset() {
 	r.counters.Range(func(k, _ any) bool { r.counters.Delete(k); return true })
 	r.histograms.Range(func(k, _ any) bool { r.histograms.Delete(k); return true })
+	r.gauges.Range(func(k, _ any) bool { r.gauges.Delete(k); return true })
 }
 
 // CounterNames returns the registered counter names in sorted order.
