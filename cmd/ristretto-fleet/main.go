@@ -1,0 +1,145 @@
+// Command ristretto-fleet runs the experiment sweep distributed over a
+// fleet of ristretto-serve workers and prints the merged results —
+// byte-identical to `ristretto-bench -q` at the same seed/scale/nets,
+// which is the distributed-sweep determinism guarantee CI enforces.
+//
+// Usage:
+//
+//	ristretto-fleet -workers http://h1:8390,http://h2:8390
+//	                [-seed N] [-scale N] [-nets AlexNet,ResNet-18]
+//	                [-cache-dir dir] [-deadline-ms N] [-timeout 5m]
+//	                [-strikes 3] [-report path] [-q] [-keep-going]
+//	                [-version]
+//
+// The coordinator enumerates the suite's sweep cells, serves any already
+// present in the content-addressed cache at -cache-dir locally, and
+// spreads the rest over the workers with a work-stealing queue: a worker
+// that dies or stalls has its cells reassigned and is retired after
+// -strikes consecutive failures. Deterministic cell failures (a panic or
+// timeout inside the experiment code) are NOT retried on other workers —
+// they would fail identically — and are reported with their replay seeds;
+// without -keep-going any such failure exits 1 after the full sweep.
+//
+// -report writes a JSON fleet report (cells, per-cell outcomes, steal and
+// reassignment counts, cache hits) — the CI cache-warm gate reads it to
+// assert a repeat sweep is ≥90% cache-served.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"ristretto/internal/fleet"
+	"ristretto/internal/safeio"
+	"ristretto/internal/telemetry"
+)
+
+func main() {
+	workers := flag.String("workers", "", "comma-separated base URLs of ristretto-serve workers (required)")
+	seed := flag.Int64("seed", 1, "workload generation seed")
+	scale := flag.Int("scale", 1, "spatial scale-down factor (1 = paper scale)")
+	nets := flag.String("nets", "", "comma-separated benchmark networks (empty = full benchmark)")
+	cacheDir := flag.String("cache-dir", "", "coordinator-side content-addressed cell cache directory (empty disables)")
+	deadlineMS := flag.Int64("deadline-ms", 0, "per-cell deadline sent to workers in milliseconds (0 = worker default)")
+	timeout := flag.Duration("timeout", 0, "end-to-end bound on one cell request, including worker queue time (0 = 5m)")
+	strikes := flag.Int("strikes", 0, "consecutive retryable failures that retire a worker (0 = 3)")
+	reportPath := flag.String("report", "", "write the JSON fleet report to this path")
+	quiet := flag.Bool("q", false, "suppress the run-stats footer")
+	keepGoing := flag.Bool("keep-going", false, "exit 0 even when cells failed deterministically")
+	version := flag.Bool("version", false, "print version and VCS info, then exit")
+	flag.Parse()
+
+	if *version {
+		fmt.Println(telemetry.VersionString("ristretto-fleet"))
+		return
+	}
+	log.SetPrefix("ristretto-fleet: ")
+	log.SetFlags(0)
+
+	if *workers == "" {
+		fatal(fmt.Errorf("-workers is required (comma-separated ristretto-serve URLs)"))
+	}
+	if *scale < 1 {
+		fatal(fmt.Errorf("invalid -scale %d: must be >= 1", *scale))
+	}
+
+	cfg := fleet.Config{
+		Workers:        splitList(*workers),
+		Seed:           *seed,
+		Scale:          *scale,
+		Nets:           splitList(*nets),
+		CacheDir:       *cacheDir,
+		DeadlineMS:     *deadlineMS,
+		RequestTimeout: *timeout,
+		WorkerStrikes:  *strikes,
+	}
+	if !*quiet {
+		cfg.Logf = log.Printf
+	}
+
+	// SIGINT/SIGTERM cancel the sweep: in-flight cells finish their HTTP
+	// attempt, nothing new is dispatched.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	results, rep, err := fleet.Run(ctx, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	// stdout carries exactly what `ristretto-bench -q` prints: one rendered
+	// result per line block — the byte-identity contract CI diffs.
+	failed := false
+	for _, r := range results {
+		fmt.Println(r.String())
+		if r.Err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "ristretto-fleet: cell failed: %v\n", r.Err)
+		}
+	}
+
+	if *reportPath != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := safeio.WriteFile(*reportPath, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ristretto-fleet: report written to %s\n", *reportPath)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr,
+			"ristretto-fleet: %d cells over %d workers in %s (%d cache hits, %d computed, %d steals, %d reassigned, %d workers retired, %d CPUs local)\n",
+			rep.Cells, rep.Workers, rep.Elapsed.Round(time.Millisecond),
+			rep.LocalCacheHits, rep.Computed, rep.Steals, rep.Reassigned, rep.RetiredWorkers, runtime.NumCPU())
+	}
+	if failed && !*keepGoing {
+		fatal(fmt.Errorf("one or more cells failed"))
+	}
+}
+
+// splitList splits a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ristretto-fleet:", err)
+	os.Exit(1)
+}

@@ -15,10 +15,14 @@
 //	                [-batch-window 1ms] [-max-batch 16] [-batch-queue-share N]
 //	                [-tenant-rate 0] [-tenant-burst N] [-max-tenants 10000]
 //	                [-default-scale 16] [-drain-grace 30s]
+//	                [-cell-cache-dir dir]
 //	                [-fault spec] [-version]
 //	                [-cpuprofile f] [-memprofile f] [-trace f] [-pprof addr]
 //
-// Endpoints: POST /v1/model, /v1/sim, /v1/quant, /v1/conformance;
+// Endpoints: POST /v1/model, /v1/sim, /v1/quant, /v1/conformance, and
+// /v1/cell — one full sweep cell per request, the unit of work
+// ristretto-fleet distributes; -cell-cache-dir arms a content-addressed
+// on-disk cache of cell payloads keyed by fingerprint.
 // GET /healthz, /readyz, /metrics. The -fault flag takes the same
 // seed-deterministic schedule spec as the batch CLIs (see EXPERIMENTS.md)
 // and injects it into request handling — the chaos CI job uses it to prove
@@ -38,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"ristretto/internal/cellcache"
 	"ristretto/internal/faultinject"
 	"ristretto/internal/server"
 	"ristretto/internal/telemetry"
@@ -61,6 +66,7 @@ func main() {
 	tenantBurst := flag.Float64("tenant-burst", 0, "per-tenant token bucket capacity (0 = max(1, tenant-rate))")
 	maxTenants := flag.Int("max-tenants", 0, "tracked tenant buckets before overflow tenants share one (0 = 10000)")
 	defaultScale := flag.Int("default-scale", 16, "spatial scale-down applied when a request names none")
+	cellCacheDir := flag.String("cell-cache-dir", "", "directory for the content-addressed /v1/cell payload cache (empty disables)")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 	faultSpec := flag.String("fault", "", "fault-injection schedule for request handling (e.g. seed=7,panic=0.05,delay=0.2:5ms)")
 	version := flag.Bool("version", false, "print version and VCS info, then exit")
@@ -89,6 +95,15 @@ func main() {
 		fatal(err)
 	}
 
+	var cells *cellcache.Cache
+	if *cellCacheDir != "" {
+		cells, err = cellcache.Open(*cellCacheDir, nil)
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("cell cache at %s (%d entries)", cells.Dir(), cells.Len())
+	}
+
 	srv := server.New(server.Config{
 		MaxConcurrent:     *maxConcurrent,
 		MaxQueue:          *queue,
@@ -106,6 +121,7 @@ func main() {
 		TenantBurst:       *tenantBurst,
 		MaxTenants:        *maxTenants,
 		DefaultScale:      *defaultScale,
+		CellCache:         cells,
 		Fault:             sched,
 	})
 	hs := &http.Server{

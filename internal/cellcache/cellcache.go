@@ -1,0 +1,220 @@
+// Package cellcache is the fleet-wide content-addressed result cache:
+// sweep-cell payloads stored on disk under the cell's stable fingerprint
+// (see experiments.CellSpec.Fingerprint), so identical cells compute once
+// and repeat sweeps are served from disk in microseconds.
+//
+// Correctness over convenience:
+//
+//   - entries are CRC-guarded: every file carries a crc32 of its payload,
+//     verified on read — a corrupt or torn entry is deleted and reported
+//     as a miss (recomputed, never served), mirroring the checkpoint
+//     journal's discipline;
+//   - writes are crash-safe through safeio (temp file + fsync + rename),
+//     so a SIGKILL mid-write leaves the old entry or none, never a hybrid;
+//   - concurrent requests for the same fingerprint singleflight through Do:
+//     one leader computes while waiters block on the in-flight result, and
+//     errors are never cached;
+//   - the store is append-only content addressing — a fingerprint's bytes
+//     never change once written, so hits are byte-identical to the
+//     computation that produced them (the cache correctness tests enforce
+//     all of this).
+//
+// Telemetry lands under fleet.cache.*: hits, misses, writes, corrupt
+// entries and inflight dedups.
+package cellcache
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"ristretto/internal/safeio"
+	"ristretto/internal/telemetry"
+)
+
+// Schema is the first header token of every cache entry file. Bump on
+// incompatible format change; old entries then fail the header check and
+// are recomputed.
+const Schema = "ristretto.cell-cache/v1"
+
+// flight is one in-progress fill: waiters block on done; val/err are set
+// before done closes. Errors are never cached — the flight is how waiters
+// learn about them.
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// Cache is the content-addressed store rooted at a directory. Entries are
+// sharded two hex chars deep (dir/ab/abcd...) to keep directories small at
+// fleet scale. Safe for concurrent use by multiple goroutines; multiple
+// processes may share a directory (atomic same-content writes commute),
+// though the singleflight span is per-process.
+type Cache struct {
+	dir string
+
+	mu      sync.Mutex
+	flights map[string]*flight
+
+	hits    *telemetry.Counter
+	misses  *telemetry.Counter
+	writes  *telemetry.Counter
+	corrupt *telemetry.Counter
+	dedup   *telemetry.Counter
+}
+
+// Open prepares a cache rooted at dir, creating it as needed. Metrics land
+// in r (nil = telemetry.Default) under fleet.cache.*.
+func Open(dir string, r *telemetry.Registry) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cellcache: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if r == nil {
+		r = telemetry.Default
+	}
+	return &Cache{
+		dir:     dir,
+		flights: map[string]*flight{},
+		hits:    r.Counter("fleet.cache.hits"),
+		misses:  r.Counter("fleet.cache.misses"),
+		writes:  r.Counter("fleet.cache.writes"),
+		corrupt: r.Counter("fleet.cache.corrupt"),
+		dedup:   r.Counter("fleet.cache.inflight_dedup"),
+	}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// path maps a fingerprint to its entry file. Fingerprints are hex sha256
+// strings; anything shorter than the shard width still gets a stable path.
+func (c *Cache) path(fp string) string {
+	shard := fp
+	if len(shard) > 2 {
+		shard = fp[:2]
+	}
+	return filepath.Join(c.dir, shard, fp)
+}
+
+// Get returns the cached payload for a fingerprint. A present entry whose
+// header or CRC does not verify is deleted and reported as a miss — a
+// corrupt entry is recomputed, never served. The returned bytes are the
+// caller's to keep (freshly read, not shared).
+func (c *Cache) Get(fp string) ([]byte, bool) {
+	data, err := os.ReadFile(c.path(fp))
+	if err != nil {
+		c.misses.Inc()
+		return nil, false
+	}
+	payload, ok := decodeEntry(data)
+	if !ok {
+		c.corrupt.Inc()
+		c.misses.Inc()
+		os.Remove(c.path(fp))
+		return nil, false
+	}
+	c.hits.Inc()
+	return payload, true
+}
+
+// Put stores a payload under its fingerprint, crash-safely. Re-putting an
+// existing fingerprint rewrites the same content (content addressing: the
+// bytes are a pure function of the fingerprint's cell).
+func (c *Cache) Put(fp string, payload []byte) error {
+	p := c.path(fp)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	if err := safeio.WriteFile(p, encodeEntry(payload), 0o644); err != nil {
+		return err
+	}
+	c.writes.Inc()
+	return nil
+}
+
+// Do answers a fingerprint through the cache with singleflight semantics:
+// a disk hit returns immediately (hit=true); otherwise the first caller
+// becomes the leader, runs compute, stores a successful result and
+// publishes it to every concurrent caller of the same fingerprint
+// (hit=false for all of them — exactly one compute ran). A failed compute
+// is returned to the whole flight and nothing is cached, so the next
+// request elects a fresh leader.
+func (c *Cache) Do(fp string, compute func() ([]byte, error)) (payload []byte, hit bool, err error) {
+	if v, ok := c.Get(fp); ok {
+		return v, true, nil
+	}
+	c.mu.Lock()
+	if fl, ok := c.flights[fp]; ok {
+		c.dedup.Inc()
+		c.mu.Unlock()
+		<-fl.done
+		return fl.val, false, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.flights[fp] = fl
+	c.mu.Unlock()
+
+	v, cerr := compute()
+	if cerr == nil {
+		// A failed write degrades to uncached: the result is still correct
+		// and still published to waiters, it just won't be a hit next time.
+		_ = c.Put(fp, v)
+	}
+	c.mu.Lock()
+	fl.val, fl.err = v, cerr
+	delete(c.flights, fp)
+	c.mu.Unlock()
+	close(fl.done)
+	return v, false, cerr
+}
+
+// Len walks the store and counts valid-looking entries — an O(entries)
+// maintenance/test helper, not a hot-path call.
+func (c *Cache) Len() int {
+	n := 0
+	filepath.Walk(c.dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || strings.HasPrefix(filepath.Base(path), ".") {
+			return nil
+		}
+		n++
+		return nil
+	})
+	return n
+}
+
+// encodeEntry frames a payload: one header line "schema crc8hex", then the
+// raw payload bytes (which may themselves contain newlines).
+func encodeEntry(payload []byte) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s %08x\n", Schema, crc32.ChecksumIEEE(payload))
+	b.Write(payload)
+	return b.Bytes()
+}
+
+// decodeEntry reverses encodeEntry, rejecting wrong schemas, torn headers
+// and payloads whose CRC does not match.
+func decodeEntry(data []byte) ([]byte, bool) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, false
+	}
+	header := string(data[:nl])
+	payload := data[nl+1:]
+	var sum uint32
+	var schema string
+	if _, err := fmt.Sscanf(header, "%s %08x", &schema, &sum); err != nil || schema != Schema {
+		return nil, false
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, false
+	}
+	return payload, true
+}

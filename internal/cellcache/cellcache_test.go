@@ -1,0 +1,223 @@
+package cellcache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ristretto/internal/telemetry"
+)
+
+func newCache(t *testing.T) (*Cache, *telemetry.Registry) {
+	t.Helper()
+	r := telemetry.NewRegistry()
+	r.SetEnabled(true)
+	c, err := Open(filepath.Join(t.TempDir(), "cells"), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, r
+}
+
+const fpA = "aabbccddeeff00112233445566778899aabbccddeeff00112233445566778899"
+
+// TestHitReturnsIdenticalBytes is the core cache-correctness property: a
+// hit must return exactly the bytes that were computed, including payloads
+// with embedded newlines and binary-ish content (the entry framing must
+// not corrupt them).
+func TestHitReturnsIdenticalBytes(t *testing.T) {
+	c, r := newCache(t)
+	payload := []byte("line1\nline2\n\x00\xff binary tail\n")
+	if err := c.Put(fpA, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(fpA)
+	if !ok {
+		t.Fatal("fresh entry missed")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("hit bytes differ:\n got %q\nwant %q", got, payload)
+	}
+	// And through the singleflight path: the hit must not run compute.
+	v, hit, err := c.Do(fpA, func() ([]byte, error) {
+		t.Fatal("compute ran despite a cached entry")
+		return nil, nil
+	})
+	if err != nil || !hit || !bytes.Equal(v, payload) {
+		t.Fatalf("Do hit = (%q, %v, %v)", v, hit, err)
+	}
+	if snap := r.Snapshot(); snap.Counters["fleet.cache.hits"] < 2 {
+		t.Fatalf("hit counter = %d, want >= 2", snap.Counters["fleet.cache.hits"])
+	}
+}
+
+// TestCorruptEntryRecomputedNotServed flips a payload byte on disk: the
+// CRC must reject the entry, Get must miss (and delete the bad file), and
+// the next Do must recompute and repair the cache.
+func TestCorruptEntryRecomputedNotServed(t *testing.T) {
+	c, r := newCache(t)
+	payload := []byte("pristine payload bytes")
+	if err := c.Put(fpA, payload); err != nil {
+		t.Fatal(err)
+	}
+	p := c.path(fpA)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0x40
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if v, ok := c.Get(fpA); ok {
+		t.Fatalf("corrupt entry served: %q", v)
+	}
+	if _, err := os.Stat(p); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("corrupt entry not deleted")
+	}
+	var computed atomic.Int64
+	v, hit, err := c.Do(fpA, func() ([]byte, error) {
+		computed.Add(1)
+		return payload, nil
+	})
+	if err != nil || hit || !bytes.Equal(v, payload) || computed.Load() != 1 {
+		t.Fatalf("recompute path = (%q, hit=%v, err=%v, computed=%d)", v, hit, err, computed.Load())
+	}
+	if got, ok := c.Get(fpA); !ok || !bytes.Equal(got, payload) {
+		t.Fatal("cache not repaired after recompute")
+	}
+	if snap := r.Snapshot(); snap.Counters["fleet.cache.corrupt"] != 1 {
+		t.Fatalf("corrupt counter = %d, want 1", snap.Counters["fleet.cache.corrupt"])
+	}
+}
+
+// TestCorruptHeaderRejected covers the other framing failures: truncated
+// header, wrong schema, missing newline.
+func TestCorruptHeaderRejected(t *testing.T) {
+	c, _ := newCache(t)
+	for name, data := range map[string][]byte{
+		"empty":        {},
+		"no-newline":   []byte("ristretto.cell-cache/v1 00000000"),
+		"wrong-schema": []byte("ristretto.other/v9 00000000\npayload"),
+		"bad-crc-hex":  []byte("ristretto.cell-cache/v1 zzzzzzzz\npayload"),
+	} {
+		p := c.path(fpA)
+		os.MkdirAll(filepath.Dir(p), 0o755)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.Get(fpA); ok {
+			t.Errorf("%s: invalid entry served", name)
+		}
+	}
+}
+
+// TestConcurrentSameCellSingleflight mirrors the serving memo cache's
+// contract: N concurrent requests for one fingerprint run exactly one
+// computation, and every caller gets the identical bytes.
+func TestConcurrentSameCellSingleflight(t *testing.T) {
+	c, r := newCache(t)
+	const callers = 16
+	var computed atomic.Int64
+	gate := make(chan struct{})
+	payload := []byte("expensive result")
+
+	var wg sync.WaitGroup
+	results := make([][]byte, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do(fpA, func() ([]byte, error) {
+				computed.Add(1)
+				<-gate // hold the flight open so everyone piles in
+				return payload, nil
+			})
+			results[i], errs[i] = v, err
+		}(i)
+	}
+	// Let the leader enter compute and the rest join the flight, then open
+	// the gate. (Sleep-free would need hooks; 10ms of pile-up is plenty and
+	// the assertion — computed == 1 — is unaffected by scheduling.)
+	for computed.Load() == 0 {
+	}
+	close(gate)
+	wg.Wait()
+
+	if n := computed.Load(); n != 1 {
+		t.Fatalf("computed %d times, want 1", n)
+	}
+	for i := range results {
+		if errs[i] != nil || !bytes.Equal(results[i], payload) {
+			t.Fatalf("caller %d got (%q, %v)", i, results[i], errs[i])
+		}
+	}
+	if snap := r.Snapshot(); snap.Counters["fleet.cache.inflight_dedup"] == 0 {
+		t.Error("no inflight dedups recorded; the flight never shared")
+	}
+}
+
+// TestErrorsNeverCached: a failed compute reaches every waiter but leaves
+// no entry, so the next request recomputes (and can succeed).
+func TestErrorsNeverCached(t *testing.T) {
+	c, _ := newCache(t)
+	boom := errors.New("compute failed")
+	if _, _, err := c.Do(fpA, func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, ok := c.Get(fpA); ok {
+		t.Fatal("failed compute left a cache entry")
+	}
+	v, hit, err := c.Do(fpA, func() ([]byte, error) { return []byte("ok now"), nil })
+	if err != nil || hit || string(v) != "ok now" {
+		t.Fatalf("retry after failure = (%q, %v, %v)", v, hit, err)
+	}
+}
+
+// TestDistinctFingerprintsIndependent: entries do not interfere, and Len
+// counts them.
+func TestDistinctFingerprintsIndependent(t *testing.T) {
+	c, _ := newCache(t)
+	for i := 0; i < 5; i++ {
+		fp := fmt.Sprintf("%064x", i+1)
+		if err := c.Put(fp, []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Len(); n != 5 {
+		t.Fatalf("Len = %d, want 5", n)
+	}
+	for i := 0; i < 5; i++ {
+		fp := fmt.Sprintf("%064x", i+1)
+		v, ok := c.Get(fp)
+		if !ok || string(v) != fmt.Sprintf("payload-%d", i) {
+			t.Fatalf("entry %d = (%q, %v)", i, v, ok)
+		}
+	}
+}
+
+// TestOpenValidation: an empty directory is rejected, a nested missing one
+// is created.
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open("", nil); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	dir := filepath.Join(t.TempDir(), "a", "b", "cells")
+	c, err := Open(dir, telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Dir() != dir {
+		t.Fatalf("Dir = %q", c.Dir())
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatal("cache root not created")
+	}
+}

@@ -1,0 +1,184 @@
+// Cross-PROCESS determinism: determinism_test.go proves bit-identical
+// output across worker-pool sizes inside one process; this file proves it
+// across real OS processes. The test binary re-execs itself as
+// ristretto-serve-equivalent workers (TestMain's worker mode), a fleet
+// coordinator spreads the sweep over them, and the merged manifest must
+// be byte-identical to the serial golden.
+//
+// It lives in package experiments_test (not experiments) because it
+// imports internal/fleet and internal/server, which import experiments —
+// an external test package breaks the cycle while sharing the binary.
+package experiments_test
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"ristretto/internal/experiments"
+	"ristretto/internal/faultinject"
+	"ristretto/internal/fleet"
+	"ristretto/internal/server"
+	"ristretto/internal/telemetry"
+)
+
+// fleetWorkerEnv gates worker mode: when set, the re-exec'd test binary
+// serves /v1/cell instead of running tests.
+const fleetWorkerEnv = "RISTRETTO_FLEET_WORKER"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(fleetWorkerEnv) == "1" {
+		runFleetWorker()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runFleetWorker is the re-exec entry point: boot a real HTTP worker on a
+// kernel-assigned port, announce the address on stdout, serve until
+// killed. RISTRETTO_FLEET_FAULT optionally injects a fault schedule —
+// the chaos suite's knob.
+func runFleetWorker() {
+	cfg := server.Config{Registry: telemetry.NewRegistry()}
+	if spec := os.Getenv("RISTRETTO_FLEET_FAULT"); spec != "" {
+		s, err := faultinject.ParseSpec(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleet worker:", err)
+			os.Exit(1)
+		}
+		cfg.Fault = faultinject.New(s)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleet worker:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("FLEET_WORKER %s\n", ln.Addr())
+	if err := http.Serve(ln, server.New(cfg).Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "fleet worker:", err)
+		os.Exit(1)
+	}
+}
+
+// spawnFleetWorker re-execs the test binary in worker mode and returns
+// its base URL once the worker announces its listen address.
+func spawnFleetWorker(t *testing.T, extraEnv ...string) (string, *exec.Cmd) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), fleetWorkerEnv+"=1")
+	cmd.Env = append(cmd.Env, extraEnv...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if addr, ok := strings.CutPrefix(sc.Text(), "FLEET_WORKER "); ok {
+				addrCh <- addr
+				return
+			}
+		}
+		close(addrCh)
+	}()
+	select {
+	case addr, ok := <-addrCh:
+		if !ok {
+			t.Fatal("worker exited before announcing its address")
+		}
+		return "http://" + addr, cmd
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker did not announce its address within 30s")
+	}
+	panic("unreachable")
+}
+
+// TestAllDeterministicAcrossWorkersMultiProcess is the cross-process
+// extension of TestAllDeterministicAcrossWorkers: three real worker
+// processes serve the sweep, and the coordinator's merged manifest must
+// be byte-identical to the serial in-process run.
+func TestAllDeterministicAcrossWorkersMultiProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process sweep in -short mode")
+	}
+	const (
+		seed  = 1
+		scale = 32
+	)
+	nets := []string{"AlexNet"}
+
+	serial := experiments.NewQuickBench(seed, scale)
+	serial.Nets = nets
+	var golden strings.Builder
+	for _, r := range serial.All() {
+		golden.WriteString(r.String())
+		golden.WriteByte('\n')
+	}
+
+	var workers []string
+	for i := 0; i < 3; i++ {
+		url, _ := spawnFleetWorker(t)
+		workers = append(workers, url)
+	}
+	rs, rep, err := fleet.Run(context.Background(), fleet.Config{
+		Workers:  workers,
+		Seed:     seed,
+		Scale:    scale,
+		Nets:     nets,
+		Registry: telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got strings.Builder
+	for _, r := range rs {
+		got.WriteString(r.String())
+		got.WriteByte('\n')
+	}
+	if got.String() != golden.String() {
+		t.Fatalf("multi-process fleet output differs from the serial run (%d vs %d bytes):\nfirst diff: %s",
+			got.Len(), golden.Len(), firstLineDiff(got.String(), golden.String()))
+	}
+	if rep.Failures != 0 || rep.Cells != len(experiments.CellKeys()) {
+		t.Fatalf("report %+v inconsistent with a clean full sweep", rep)
+	}
+	spread := map[int]bool{}
+	for _, o := range rep.Outcomes {
+		spread[o.Worker] = true
+	}
+	if len(spread) < 2 {
+		t.Errorf("cells landed on workers %v only; expected the sweep to spread over processes", spread)
+	}
+}
+
+// firstLineDiff reports the first differing line of two renders.
+func firstLineDiff(got, want string) string {
+	g, w := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if g[i] != w[i] {
+			return fmt.Sprintf("line %d:\n got: %s\nwant: %s", i+1, g[i], w[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(g), len(w))
+}

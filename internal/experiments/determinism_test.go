@@ -33,6 +33,9 @@ func renderAll(t *testing.T, workers int) string {
 // worker count. It runs with telemetry enabled, pinning the second guarantee
 // the -telemetry flag relies on: instrumentation must not perturb a single
 // byte either (TestTelemetryBitInvisible covers on-vs-off equality).
+//
+// TestAllDeterministicAcrossWorkersMultiProcess (determinism_fleet_test.go)
+// extends this guarantee across real OS processes via the fleet coordinator.
 func TestAllDeterministicAcrossWorkers(t *testing.T) {
 	telemetry.Default.SetEnabled(true)
 	t.Cleanup(func() {

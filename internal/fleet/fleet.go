@@ -1,0 +1,382 @@
+// Package fleet is the distributed-sweep coordinator: it enumerates the
+// experiment suite's sweep cells (the same stable keys the checkpoint
+// journal uses), distributes them over a set of ristretto-serve workers
+// through the /v1/cell endpoint with a work-stealing bounded queue, and
+// merges the per-worker payloads into a result list byte-identical to a
+// serial experiments.All() run — the distributed-sweep determinism
+// guarantee, enforced by the cross-process determinism and chaos suites.
+//
+// Fault tolerance: a worker that dies or times out mid-cell has its
+// in-flight cell reassigned to a survivor (after enough consecutive
+// strikes the worker is retired and its queue spilled); a cell that fails
+// deterministically on a healthy worker — a panic or timeout inside the
+// experiment code — is NOT retried elsewhere, because it would fail
+// identically: the remote *runner.CellError crosses the wire with its
+// replay seed and surfaces as the same placeholder Result a local
+// keep-going run produces.
+//
+// A content-addressed cell cache (internal/cellcache, keyed by
+// experiments.CellSpec.Fingerprint) sits in front of dispatch: cells
+// already cached are served locally without touching a worker, and every
+// computed payload is written back, so a repeat sweep is near-free.
+//
+// Telemetry lands under fleet.steal.* (local_pops, steals, reassigned,
+// workers_retired) and fleet.cache.* (see cellcache).
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"ristretto/internal/cellcache"
+	"ristretto/internal/experiments"
+	"ristretto/internal/runner"
+	"ristretto/internal/server"
+	"ristretto/internal/telemetry"
+)
+
+// Config describes one fleet sweep: the workload (identical to what a
+// serial bench run would use) and the worker set to spread it over.
+type Config struct {
+	// Workers are the base URLs of ristretto-serve processes (e.g.
+	// "http://127.0.0.1:8080"). At least one is required.
+	Workers []string
+	// Seed, Scale, Nets configure the workload exactly like
+	// experiments.Bench — they are the cache identity of every cell.
+	Seed  int64
+	Scale int
+	Nets  []string
+	// CacheDir, when non-empty, opens the coordinator-side cell cache
+	// there: cached cells skip dispatch, computed cells are written back.
+	CacheDir string
+	// DeadlineMS is the per-cell request deadline sent to workers
+	// (0 = the worker's default).
+	DeadlineMS int64
+	// RequestTimeout bounds one HTTP attempt end to end, including queue
+	// time on the worker; 0 = 5m. Keep it above DeadlineMS.
+	RequestTimeout time.Duration
+	// WorkerStrikes is how many consecutive retryable failures retire a
+	// worker; 0 = 3.
+	WorkerStrikes int
+	// Client overrides the HTTP client (tests inject httptest clients);
+	// nil builds one with RequestTimeout.
+	Client *http.Client
+	// Registry receives fleet.steal.* metrics; nil = telemetry.Default.
+	Registry *telemetry.Registry
+	// Logf, when non-nil, receives coordinator progress lines.
+	Logf func(format string, args ...any)
+}
+
+// CellOutcome records where one cell's payload came from.
+type CellOutcome struct {
+	Cell        string                `json:"cell"`
+	Fingerprint string                `json:"fingerprint"`
+	Worker      int                   `json:"worker"`                  // index into Config.Workers; -1 = local cache
+	Stolen      bool                  `json:"stolen,omitempty"`        // dispatched via a steal
+	WorkerCache bool                  `json:"worker_cache,omitempty"`  // worker answered from its cell cache
+	LocalCache  bool                  `json:"local_cache,omitempty"`   // served from CacheDir without dispatch
+	Attempts    int                   `json:"attempts"`                // dispatch attempts (0 for local cache)
+	Err         *runner.WireCellError `json:"err,omitempty"`           // terminal deterministic failure
+}
+
+// Report summarizes a fleet sweep for manifests and the CI gates.
+type Report struct {
+	Cells          int           `json:"cells"`
+	Workers        int           `json:"workers"`
+	LocalCacheHits int           `json:"local_cache_hits"`
+	Computed       int           `json:"computed"`
+	Failures       int           `json:"failures"`
+	Steals         int64         `json:"steals"`
+	Reassigned     int64         `json:"reassigned"`
+	RetiredWorkers int           `json:"retired_workers"`
+	Elapsed        time.Duration `json:"elapsed_ns"`
+	Outcomes       []CellOutcome `json:"outcomes"` // paper order
+}
+
+// CacheHitRate is the fraction of cells served from the local cache —
+// what the CI cache-warm gate asserts against.
+func (r Report) CacheHitRate() float64 {
+	if r.Cells == 0 {
+		return 0
+	}
+	return float64(r.LocalCacheHits) / float64(r.Cells)
+}
+
+// workerError is the JSON error body a worker answers with (the server's
+// apiError shape), carrying the wire CellError for deterministic failures.
+type workerError struct {
+	Status    int                   `json:"status"`
+	Msg       string                `json:"error"`
+	CellError *runner.WireCellError `json:"cell_error"`
+}
+
+// coord is one Run invocation's state.
+type coord struct {
+	cfg    Config
+	client *http.Client
+	cache  *cellcache.Cache // nil without CacheDir
+	queue  *stealQueue
+	specs  map[string]experiments.CellSpec
+
+	mu       sync.Mutex
+	payloads map[string]json.RawMessage
+	outcomes map[string]*CellOutcome
+	fatal    error // non-retryable coordinator-level failure (config skew)
+}
+
+// Run executes the full sweep over the fleet and returns the merged
+// results in paper order — byte-identical to a serial run of the same
+// workload — plus the dispatch report. Deterministic cell failures
+// surface as keep-going placeholder Results (and in the report), not as a
+// Run error; Run itself fails only when cells could not be executed at
+// all (every worker retired, config rejected, context cancelled).
+func Run(ctx context.Context, cfg Config) ([]*experiments.Result, Report, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, Report{}, fmt.Errorf("fleet: no workers configured")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	if cfg.WorkerStrikes <= 0 {
+		cfg.WorkerStrikes = 3
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 5 * time.Minute
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.Default
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	for i, w := range cfg.Workers {
+		cfg.Workers[i] = strings.TrimRight(w, "/")
+	}
+
+	c := &coord{
+		cfg:      cfg,
+		client:   cfg.Client,
+		specs:    map[string]experiments.CellSpec{},
+		payloads: map[string]json.RawMessage{},
+		outcomes: map[string]*CellOutcome{},
+	}
+	if c.client == nil {
+		c.client = &http.Client{Timeout: cfg.RequestTimeout}
+	}
+	if cfg.CacheDir != "" {
+		cache, err := cellcache.Open(cfg.CacheDir, cfg.Registry)
+		if err != nil {
+			return nil, Report{}, fmt.Errorf("fleet: opening cell cache: %w", err)
+		}
+		c.cache = cache
+	}
+
+	start := time.Now()
+	bench := experiments.Bench{Seed: cfg.Seed, Scale: cfg.Scale, Nets: cfg.Nets}
+	keys := experiments.CellKeys()
+	rep := Report{Cells: len(keys), Workers: len(cfg.Workers)}
+
+	// Phase 1: serve everything the local cache already holds.
+	var todo []string
+	for _, key := range keys {
+		spec := bench.CellSpec(key)
+		c.specs[key] = spec
+		fp := spec.Fingerprint()
+		if c.cache != nil {
+			if payload, ok := c.cache.Get(fp); ok {
+				c.payloads[key] = payload
+				c.outcomes[key] = &CellOutcome{Cell: key, Fingerprint: fp, Worker: -1, LocalCache: true}
+				rep.LocalCacheHits++
+				continue
+			}
+		}
+		todo = append(todo, key)
+	}
+	cfg.Logf("fleet: %d cells, %d from local cache, %d to dispatch over %d workers",
+		len(keys), rep.LocalCacheHits, len(todo), len(cfg.Workers))
+
+	// Phase 2: work-stealing dispatch of the rest. Report counts are
+	// deltas over the run, because the registry's counters are cumulative
+	// across runs sharing it.
+	c.queue = newStealQueue(len(cfg.Workers), todo, cfg.Registry)
+	baseSteals := c.queue.steals.Load()
+	baseReassigns := c.queue.reassigns.Load()
+	var wg sync.WaitGroup
+	for w := range cfg.Workers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c.workerLoop(ctx, w)
+		}(w)
+	}
+	wg.Wait()
+
+	rep.Steals = c.queue.steals.Load() - baseSteals
+	rep.Reassigned = c.queue.reassigns.Load() - baseReassigns
+	rep.RetiredWorkers = len(cfg.Workers) - c.queue.alive()
+	rep.Elapsed = time.Since(start)
+
+	if c.fatal != nil {
+		return nil, rep, c.fatal
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, rep, err
+	}
+	if left := c.queue.unassigned(); len(left) > 0 {
+		return nil, rep, fmt.Errorf("fleet: %d cells unassigned after every worker retired: %v", len(left), left)
+	}
+
+	// Phase 3: merge in paper order; deterministic failures become the
+	// same placeholder Results a local keep-going run produces.
+	var results []*experiments.Result
+	for _, key := range keys {
+		out := c.outcomes[key]
+		if out == nil {
+			return nil, rep, fmt.Errorf("fleet: cell %q never completed", key)
+		}
+		rep.Outcomes = append(rep.Outcomes, *out)
+		if out.Err != nil {
+			rep.Failures++
+			results = append(results, &experiments.Result{
+				ID: "Job " + key, Title: "experiment job failed", Err: out.Err.CellError(),
+			})
+			continue
+		}
+		rs, err := experiments.DecodeCellPayload(c.payloads[key])
+		if err != nil {
+			return nil, rep, fmt.Errorf("fleet: corrupt payload for cell %q: %w", key, err)
+		}
+		results = append(results, rs...)
+		if !out.LocalCache {
+			rep.Computed++
+		}
+	}
+	return results, rep, nil
+}
+
+// workerLoop drains cells for worker w until the sweep finishes or the
+// worker is retired for striking out.
+func (c *coord) workerLoop(ctx context.Context, w int) {
+	strikes := 0
+	for {
+		cell, stolen, ok := c.queue.next(w)
+		if !ok {
+			return
+		}
+		if ctx.Err() != nil {
+			c.queue.reassign(cell, w)
+			c.queue.retire(w)
+			return
+		}
+		out, retryable, err := c.dispatch(ctx, w, cell, stolen)
+		if err == nil {
+			strikes = 0
+			c.record(cell, out)
+			c.queue.complete()
+			continue
+		}
+		if !retryable {
+			// Coordinator-level failure (request rejected, version skew):
+			// no worker will do better, fail the run.
+			c.mu.Lock()
+			if c.fatal == nil {
+				c.fatal = fmt.Errorf("fleet: cell %q on worker %d: %w", cell, w, err)
+			}
+			c.mu.Unlock()
+			c.queue.complete()
+			continue
+		}
+		strikes++
+		c.cfg.Logf("fleet: worker %d failed cell %q (strike %d/%d): %v",
+			w, cell, strikes, c.cfg.WorkerStrikes, err)
+		c.queue.reassign(cell, w)
+		if strikes >= c.cfg.WorkerStrikes {
+			c.cfg.Logf("fleet: retiring worker %d (%s)", w, c.cfg.Workers[w])
+			c.queue.retire(w)
+			return
+		}
+	}
+}
+
+// record stores a completed cell's outcome (and payload) under the lock.
+func (c *coord) record(cell string, out *CellOutcome) {
+	c.mu.Lock()
+	c.outcomes[cell] = out
+	c.mu.Unlock()
+}
+
+// dispatch runs one cell attempt against worker w. The three-way result:
+// (outcome, _, nil) on success or terminal deterministic failure;
+// (nil, true, err) for retryable trouble — worker dead, shed, timed out
+// in queue — where the cell must be reassigned; (nil, false, err) for a
+// coordinator-level failure that no reassignment can fix.
+func (c *coord) dispatch(ctx context.Context, w int, cell string, stolen bool) (*CellOutcome, bool, error) {
+	spec := c.specs[cell]
+	fp := spec.Fingerprint()
+	body, _ := json.Marshal(server.CellRequest{
+		Seed: spec.Seed, Scale: spec.Scale, Nets: spec.Nets, Cell: cell, DeadlineMS: c.cfg.DeadlineMS,
+	})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.cfg.Workers[w]+"/v1/cell", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, true, err // transport failure: worker gone or unreachable
+	}
+	defer resp.Body.Close()
+
+	out := &CellOutcome{Cell: cell, Fingerprint: fp, Worker: w, Stolen: stolen, Attempts: 1}
+	if resp.StatusCode == http.StatusOK {
+		var cr server.CellResponse
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+			return nil, true, fmt.Errorf("undecodable worker response: %w", err)
+		}
+		if cr.Fingerprint != fp {
+			// Version skew: the worker canonicalizes cells differently.
+			// Its payloads cannot share a cache with ours — refuse.
+			return nil, false, fmt.Errorf("fingerprint mismatch for cell %q: worker %s, coordinator %s",
+				cell, cr.Fingerprint, fp)
+		}
+		out.WorkerCache = cr.Cached
+		c.mu.Lock()
+		c.payloads[cell] = cr.Payload
+		c.mu.Unlock()
+		if c.cache != nil {
+			_ = c.cache.Put(fp, cr.Payload) // best effort; a miss next run recomputes
+		}
+		return out, false, nil
+	}
+
+	var werr workerError
+	_ = json.NewDecoder(resp.Body).Decode(&werr)
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		// Shed, draining, transient fault or queue-deadline expiry: the
+		// work itself is fine, try it on another worker.
+		return nil, true, fmt.Errorf("worker answered %d: %s", resp.StatusCode, werr.Msg)
+	case http.StatusInternalServerError:
+		if werr.CellError != nil {
+			// Deterministic failure inside the experiment: retrying on
+			// another worker reproduces it. Surface it with its replay
+			// seed, exactly like a local keep-going run.
+			werr.CellError.Key = cell
+			out.Err = werr.CellError
+			return out, false, nil
+		}
+		return nil, true, fmt.Errorf("worker answered 500: %s", werr.Msg)
+	default:
+		return nil, false, fmt.Errorf("worker rejected cell: %d %s", resp.StatusCode, werr.Msg)
+	}
+}

@@ -1,0 +1,105 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+)
+
+// WireCellError is the JSON shape of a *CellError crossing a process
+// boundary: the distributed-fleet worker endpoint (/v1/cell) answers a
+// failed cell with this struct, and the coordinator reconstructs a
+// *CellError from it so remote failures carry the same replay seed,
+// attempt count and panic evidence as local ones. Key is the stable cell
+// key the failure belongs to (journal/cache identity), which a bare cell
+// index cannot convey across processes.
+type WireCellError struct {
+	// Cell is the failing index inside the remote MapCfg call (often 0 for
+	// one-cell remote executions; Key is the cross-process identity).
+	Cell int `json:"cell"`
+	// Key is the stable cell key (e.g. an experiments job key) when the
+	// remote side knows it.
+	Key string `json:"key,omitempty"`
+	// Seed is the replay seed derived for the cell, the value that lets a
+	// local rerun target exactly the failed work.
+	Seed int64 `json:"seed,omitempty"`
+	// Attempts counts tries made remotely, including the first.
+	Attempts int `json:"attempts,omitempty"`
+	// Panicked is true when the remote failure was a recovered panic.
+	Panicked bool `json:"panicked,omitempty"`
+	// TimedOut is true when the remote cell exceeded its timeout.
+	TimedOut bool `json:"timed_out,omitempty"`
+	// Stack is the recovered goroutine stack for panics (may be truncated
+	// by the remote side; empty for plain errors).
+	Stack string `json:"stack,omitempty"`
+	// Error is the underlying error message.
+	Error string `json:"error"`
+}
+
+// Wire converts a *CellError into its cross-process JSON shape. key names
+// the cell for the remote receiver (pass "" when unknown).
+func (e *CellError) Wire(key string) *WireCellError {
+	w := &WireCellError{
+		Cell:     e.Cell,
+		Key:      key,
+		Seed:     e.Seed,
+		Attempts: e.Attempts,
+		Panicked: e.Stack != nil,
+		TimedOut: e.TimedOut,
+		Stack:    string(e.Stack),
+	}
+	if e.Err != nil {
+		w.Error = e.Err.Error()
+	}
+	return w
+}
+
+// CellError reconstructs the typed error. The round-trip preserves the
+// replay seed, attempt count, timeout flag and the panicked/failed kind
+// (a panicked wire error yields a non-nil Stack even when the stack text
+// was dropped), so Error() renders the same failure classification on
+// both sides of the wire.
+func (w *WireCellError) CellError() *CellError {
+	ce := &CellError{
+		Cell:     w.Cell,
+		Seed:     w.Seed,
+		Attempts: w.Attempts,
+		TimedOut: w.TimedOut,
+		Err:      errors.New(w.Error),
+	}
+	if w.Panicked {
+		// Preserve the "panicked" classification even for an empty stack:
+		// CellError reports kind by Stack != nil.
+		ce.Stack = []byte(w.Stack)
+		if ce.Stack == nil {
+			ce.Stack = []byte{}
+		}
+	}
+	if w.TimedOut && w.Error == ErrCellTimeout.Error() {
+		ce.Err = ErrCellTimeout
+	}
+	return ce
+}
+
+// String renders the wire error for logs, mirroring CellError.Error with
+// the stable key when present.
+func (w *WireCellError) String() string {
+	kind := "failed"
+	switch {
+	case w.Panicked:
+		kind = "panicked"
+	case w.TimedOut:
+		kind = "timed out"
+	}
+	name := fmt.Sprintf("cell %d", w.Cell)
+	if w.Key != "" {
+		name = fmt.Sprintf("cell %q", w.Key)
+	}
+	s := fmt.Sprintf("runner: %s %s", name, kind)
+	if w.Attempts > 1 {
+		s += fmt.Sprintf(" after %d attempts", w.Attempts)
+	}
+	if w.Seed != 0 {
+		s += fmt.Sprintf(" (replay seed %d)", w.Seed)
+	}
+	return s + ": " + w.Error
+}

@@ -1,0 +1,68 @@
+package runner
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestWireCellErrorRoundTrip pins the cross-process contract the fleet
+// coordinator relies on: every replay-relevant field of a CellError must
+// survive JSON encode/decode, and the reconstructed error must classify
+// (panicked / timed out / failed) identically to the original.
+func TestWireCellErrorRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		ce   *CellError
+		key  string
+	}{
+		{"panic", &CellError{Cell: 3, Seed: 987654321, Attempts: 1, Stack: []byte("goroutine 1 [running]:\nboom"), Err: errors.New("panic: injected")}, "figure12"},
+		{"timeout", &CellError{Cell: 0, Seed: 42, Attempts: 2, TimedOut: true, Err: ErrCellTimeout}, "ext-fifo"},
+		{"plain", &CellError{Cell: 7, Seed: -5, Attempts: 3, Err: errors.New("hard failure")}, ""},
+		{"panic-empty-stack", &CellError{Cell: 1, Seed: 9, Attempts: 1, Stack: []byte{}, Err: errors.New("panic: x")}, "taxonomy"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := tc.ce.Wire(tc.key)
+			raw, err := json.Marshal(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back WireCellError
+			if err := json.Unmarshal(raw, &back); err != nil {
+				t.Fatal(err)
+			}
+			if back.Key != tc.key {
+				t.Errorf("key %q != %q", back.Key, tc.key)
+			}
+			got := back.CellError()
+			if got.Seed != tc.ce.Seed {
+				t.Errorf("seed %d != %d: replay seed lost on the wire", got.Seed, tc.ce.Seed)
+			}
+			if got.Cell != tc.ce.Cell || got.Attempts != tc.ce.Attempts || got.TimedOut != tc.ce.TimedOut {
+				t.Errorf("fields differ: got %+v want %+v", got, tc.ce)
+			}
+			if (got.Stack != nil) != (tc.ce.Stack != nil) {
+				t.Errorf("panic classification lost: stack %v vs %v", got.Stack, tc.ce.Stack)
+			}
+			if got.Error() != tc.ce.Error() {
+				t.Errorf("rendering differs:\n got %q\nwant %q", got.Error(), tc.ce.Error())
+			}
+			if tc.ce.TimedOut && !errors.Is(got, ErrCellTimeout) {
+				t.Error("timeout cause not reconstructed as ErrCellTimeout")
+			}
+		})
+	}
+}
+
+// TestWireCellErrorString covers the log rendering with and without keys.
+func TestWireCellErrorString(t *testing.T) {
+	w := (&CellError{Cell: 0, Seed: 11, Attempts: 2, Err: errors.New("x")}).Wire("figure4")
+	s := w.String()
+	for _, want := range []string{`cell "figure4"`, "replay seed 11", "after 2 attempts", ": x"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -9,16 +9,18 @@ import (
 	"ristretto/internal/conformance"
 	"ristretto/internal/experiments"
 	"ristretto/internal/model"
+	"ristretto/internal/runner"
 )
 
 // apiError is a failure with an HTTP status. Handlers and the compute
 // functions return it for client-caused failures (validation, unknown
 // resources); everything else maps to 500/503/504 in the execute envelope.
 type apiError struct {
-	Status     int    `json:"status"`
-	Msg        string `json:"error"`
-	Quota      string `json:"quota,omitempty"` // tenant whose token bucket was empty (429s only)
-	RetryAfter int    `json:"-"`               // seconds; > 0 emits a Retry-After header
+	Status     int                   `json:"status"`
+	Msg        string                `json:"error"`
+	Quota      string                `json:"quota,omitempty"` // tenant whose token bucket was empty (429s only)
+	RetryAfter int                   `json:"-"`               // seconds; > 0 emits a Retry-After header
+	CellError  *runner.WireCellError `json:"cell_error,omitempty"`
 }
 
 func (e *apiError) Error() string { return e.Msg }

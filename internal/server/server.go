@@ -52,6 +52,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ristretto/internal/cellcache"
 	"ristretto/internal/faultinject"
 	"ristretto/internal/runner"
 	"ristretto/internal/telemetry"
@@ -111,6 +112,10 @@ type Config struct {
 	// MaxTenants bounds tracked tenant buckets (overflow tenants share one
 	// bucket); 0 = 10000.
 	MaxTenants int
+	// CellCache, when non-nil, fronts the /v1/cell worker endpoint with the
+	// fleet's content-addressed result store: repeat and concurrent requests
+	// for one cell fingerprint compute once and replay byte-identically.
+	CellCache *cellcache.Cache
 	// Fault, when non-nil, injects the schedule into request handling:
 	// each request is one cell (in arrival order), so seed-deterministic
 	// panics/transients/delays exercise the isolation machinery under
@@ -204,8 +209,9 @@ type Server struct {
 	reg      *telemetry.Registry
 	adm      *admission
 	brk      *breaker
-	memo     *memoCache // nil when memoization is disabled
-	batch    *batcher   // nil when coalescing is disabled
+	memo     *memoCache       // nil when memoization is disabled
+	batch    *batcher         // nil when coalescing is disabled
+	cells    *cellcache.Cache // nil when the cell cache is disabled
 	quota    *quotaTable
 	class    map[priorityClass]*classMetrics
 	fault    func(cell, attempt int) error
@@ -249,7 +255,7 @@ func New(cfg Config) *Server {
 		queueDepth:   r.Histogram("server.queue_depth"),
 		tenants:      r.Gauge("server.quota.tenants"),
 	}
-	for _, ep := range []string{"model", "sim", "quant", "conformance"} {
+	for _, ep := range []string{"model", "sim", "quant", "conformance", "cell"} {
 		s.ep[ep] = &epMetrics{
 			requests: r.Counter("server." + ep + ".requests"),
 			ok:       r.Counter("server." + ep + ".ok"),
@@ -278,6 +284,7 @@ func New(cfg Config) *Server {
 	if cfg.Fault != nil {
 		s.fault = cfg.Fault.Hook()
 	}
+	s.cells = cfg.CellCache
 	return s
 }
 
@@ -291,6 +298,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/sim", s.handleSim)
 	mux.HandleFunc("/v1/quant", s.handleQuant)
 	mux.HandleFunc("/v1/conformance", s.handleConformance)
+	mux.HandleFunc("/v1/cell", s.handleCell)
 	return mux
 }
 
@@ -505,7 +513,10 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, ep string, req a
 // class-aware admission (shed on overflow), breaker observation, deadline,
 // and the one-cell runner call that isolates panics and enforces the
 // timeout. It returns the computed value or the failure to answer with.
-func (s *Server) compute(r *http.Request, tc tenantCtx, deadlineMS int64, work func(ctx context.Context) (any, error)) (any, *apiError) {
+// seedFn, when non-nil, derives the replay seed recorded on envelope-level
+// cell failures (the /v1/cell endpoint passes the experiment-suite
+// derivation so remote failures replay locally); nil leaves it zero.
+func (s *Server) compute(r *http.Request, tc tenantCtx, deadlineMS int64, seedFn func(int) int64, work func(ctx context.Context) (any, error)) (any, *apiError) {
 	release, wait, err := s.adm.admit(r.Context(), tc.class)
 	s.queueDepth.Observe(s.adm.depth())
 	switch {
@@ -524,7 +535,7 @@ func (s *Server) compute(r *http.Request, tc tenantCtx, deadlineMS int64, work f
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
 
-	cfg := runner.Cfg{Timeout: d}
+	cfg := runner.Cfg{Timeout: d, Seed: seedFn}
 	if s.fault != nil {
 		cell := int(s.seq.Add(1))
 		cfg.Fault = func(_, attempt int) error { return s.fault(cell, attempt) }
@@ -555,7 +566,7 @@ func (s *Server) finish(w http.ResponseWriter, ep string, tc tenantCtx, start ti
 // then answer.
 func (s *Server) execute(w http.ResponseWriter, r *http.Request, ep string, tc tenantCtx, deadlineMS int64, work func(ctx context.Context) (any, error)) {
 	start := time.Now()
-	res, aerr := s.compute(r, tc, deadlineMS, work)
+	res, aerr := s.compute(r, tc, deadlineMS, nil, work)
 	if aerr != nil {
 		s.fail(w, ep, aerr)
 		return
@@ -601,7 +612,7 @@ func (s *Server) serveMemoized(w http.ResponseWriter, r *http.Request, ep string
 		}
 		return
 	}
-	res, aerr := s.compute(r, tc, deadlineMS, work)
+	res, aerr := s.compute(r, tc, deadlineMS, nil, work)
 	if aerr != nil {
 		s.memo.complete(key, fl, nil, aerr)
 		s.fail(w, ep, aerr)
@@ -618,31 +629,51 @@ func (s *Server) serveMemoized(w http.ResponseWriter, r *http.Request, ep string
 // classify maps a runner failure to its HTTP shape: recovered panics are
 // 500s (the request died, the process did not), deadline expiries 504s,
 // injected transients 503s, apiErrors pass through, anything else 500.
+// Classification uses the deepest CellError in the chain — the /v1/cell
+// endpoint nests an experiment-level cell inside the request envelope's,
+// and the inner one carries the stack/timeout evidence and replay seed.
+// That CellError also rides along in wire form so remote callers (the
+// fleet coordinator) can reconstruct the failure locally.
 func (s *Server) classify(err error) *apiError {
-	var ce *runner.CellError
-	if errors.As(err, &ce) {
+	if ce := deepestCellError(err); ce != nil {
+		wire := ce.Wire("")
 		switch {
 		case ce.Stack != nil:
 			s.panics.Inc()
 			log.Printf("server: recovered request panic: %v\n%s", ce.Err, ce.Stack)
-			return &apiError{Status: http.StatusInternalServerError, Msg: "internal error: request panicked (isolated; see server log)"}
+			return &apiError{Status: http.StatusInternalServerError, Msg: "internal error: request panicked (isolated; see server log)", CellError: wire}
 		case ce.TimedOut:
 			s.timeouts.Inc()
-			return &apiError{Status: http.StatusGatewayTimeout, Msg: "deadline exceeded"}
+			return &apiError{Status: http.StatusGatewayTimeout, Msg: "deadline exceeded", CellError: wire}
 		case faultinject.IsTransient(ce.Err):
-			return &apiError{Status: http.StatusServiceUnavailable, Msg: "transient fault, retry", RetryAfter: 1}
+			return &apiError{Status: http.StatusServiceUnavailable, Msg: "transient fault, retry", RetryAfter: 1, CellError: wire}
 		}
 		var ae *apiError
 		if errors.As(ce.Err, &ae) {
 			return ae
 		}
-		return &apiError{Status: http.StatusInternalServerError, Msg: ce.Err.Error()}
+		return &apiError{Status: http.StatusInternalServerError, Msg: ce.Err.Error(), CellError: wire}
 	}
 	if errors.Is(err, context.DeadlineExceeded) {
 		s.timeouts.Inc()
 		return &apiError{Status: http.StatusGatewayTimeout, Msg: "deadline exceeded"}
 	}
 	return &apiError{Status: http.StatusServiceUnavailable, Msg: err.Error(), RetryAfter: 1}
+}
+
+// deepestCellError walks the unwrap chain to the innermost *CellError.
+// Nested MapCfg calls (request envelope around an experiment cell) each
+// wrap one; the innermost carries the original failure's evidence.
+func deepestCellError(err error) *runner.CellError {
+	var last *runner.CellError
+	for {
+		var ce *runner.CellError
+		if !errors.As(err, &ce) || ce == last {
+			return last
+		}
+		last = ce
+		err = ce.Err
+	}
 }
 
 // fail writes an error response and bumps the endpoint's error counter.
