@@ -8,8 +8,9 @@
 //	ristretto-fleet -workers http://h1:8390,http://h2:8390
 //	                [-seed N] [-scale N] [-nets AlexNet,ResNet-18]
 //	                [-cache-dir dir] [-deadline-ms N] [-timeout 5m]
-//	                [-strikes 3] [-report path] [-q] [-keep-going]
-//	                [-version]
+//	                [-strikes 3] [-journal path] [-resume]
+//	                [-audit F] [-hedge auto|DUR] [-net-fault SPEC]
+//	                [-report path] [-q] [-keep-going] [-version]
 //
 // The coordinator enumerates the suite's sweep cells, serves any already
 // present in the content-addressed cache at -cache-dir locally, and
@@ -20,9 +21,26 @@
 // they would fail identically — and are reported with their replay seeds;
 // without -keep-going any such failure exits 1 after the full sweep.
 //
-// -report writes a JSON fleet report (cells, per-cell outcomes, steal and
-// reassignment counts, cache hits) — the CI cache-warm gate reads it to
-// assert a repeat sweep is ≥90% cache-served.
+// Byzantine tolerance: every worker response is digest-verified end to
+// end; a worker whose bytes do not verify is quarantined (retired on one
+// strike) and its cells recomputed elsewhere. -audit F re-executes a
+// seed-deterministic fraction F of verified cells on a second worker and
+// byte-compares, catching workers that compute wrong answers and digest
+// them honestly. -hedge races stragglers onto a second worker after a
+// fixed delay (or, with "auto", 3× the observed attempt-latency P95);
+// the first verified result wins.
+//
+// -journal records every completion durably (crc-guarded, fsynced); after
+// a coordinator crash or SIGKILL, rerunning with -resume serves journaled
+// cells without re-dispatching them. -net-fault injects seed-deterministic
+// response faults into the coordinator's own HTTP client (see
+// internal/faultinject: corrupt, truncate, blackhole, slowdrip, optionally
+// host-scoped) — the chaos harness for all of the above.
+//
+// -report writes a JSON fleet report (cells, per-cell outcomes, steal,
+// reassignment, integrity, hedge and resume counts, cache hits) — the CI
+// cache-warm gate reads it to assert a repeat sweep is ≥90% cache-served,
+// and the chaos gate asserts the integrity/hedge counters fired.
 package main
 
 import (
@@ -38,6 +56,7 @@ import (
 	"syscall"
 	"time"
 
+	"ristretto/internal/faultinject"
 	"ristretto/internal/fleet"
 	"ristretto/internal/safeio"
 	"ristretto/internal/telemetry"
@@ -52,6 +71,11 @@ func main() {
 	deadlineMS := flag.Int64("deadline-ms", 0, "per-cell deadline sent to workers in milliseconds (0 = worker default)")
 	timeout := flag.Duration("timeout", 0, "end-to-end bound on one cell request, including worker queue time (0 = 5m)")
 	strikes := flag.Int("strikes", 0, "consecutive retryable failures that retire a worker (0 = 3)")
+	journalPath := flag.String("journal", "", "journal completions to this file for crash-resume (empty disables)")
+	resume := flag.Bool("resume", false, "resume from an existing -journal instead of truncating it")
+	audit := flag.Float64("audit", 0, "fraction of verified cells to re-execute on a second worker (0 disables, 1 = all)")
+	hedge := flag.String("hedge", "", "hedge stragglers after this delay, e.g. 150ms, or 'auto' for 3x observed P95 (empty disables)")
+	netFault := flag.String("net-fault", "", "inject response faults into the coordinator's HTTP client, e.g. 'host=h1:8390,seed=9,corrupt=1' (chaos testing)")
 	reportPath := flag.String("report", "", "write the JSON fleet report to this path")
 	quiet := flag.Bool("q", false, "suppress the run-stats footer")
 	keepGoing := flag.Bool("keep-going", false, "exit 0 even when cells failed deterministically")
@@ -71,6 +95,13 @@ func main() {
 	if *scale < 1 {
 		fatal(fmt.Errorf("invalid -scale %d: must be >= 1", *scale))
 	}
+	if *resume && *journalPath == "" {
+		fatal(fmt.Errorf("-resume requires -journal"))
+	}
+	hedgeAfter, err := parseHedge(*hedge)
+	if err != nil {
+		fatal(err)
+	}
 
 	cfg := fleet.Config{
 		Workers:        splitList(*workers),
@@ -81,6 +112,17 @@ func main() {
 		DeadlineMS:     *deadlineMS,
 		RequestTimeout: *timeout,
 		WorkerStrikes:  *strikes,
+		JournalPath:    *journalPath,
+		Resume:         *resume,
+		AuditFraction:  *audit,
+		HedgeAfter:     hedgeAfter,
+	}
+	if *netFault != "" {
+		spec, err := faultinject.ParseNetSpec(*netFault)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.NetFault = spec
 	}
 	if !*quiet {
 		cfg.Logf = log.Printf
@@ -119,13 +161,43 @@ func main() {
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr,
-			"ristretto-fleet: %d cells over %d workers in %s (%d cache hits, %d computed, %d steals, %d reassigned, %d workers retired, %d CPUs local)\n",
+			"ristretto-fleet: %d cells over %d workers in %s (%d cache hits, %d resumed, %d computed, %d steals, %d reassigned, %d workers retired, %d CPUs local)\n",
 			rep.Cells, rep.Workers, rep.Elapsed.Round(time.Millisecond),
-			rep.LocalCacheHits, rep.Computed, rep.Steals, rep.Reassigned, rep.RetiredWorkers, runtime.NumCPU())
+			rep.LocalCacheHits, rep.ResumedCells, rep.Computed, rep.Steals, rep.Reassigned, rep.RetiredWorkers, runtime.NumCPU())
+		if rep.DigestMismatches > 0 || rep.Quarantined > 0 || rep.AuditMismatches > 0 {
+			fmt.Fprintf(os.Stderr,
+				"ristretto-fleet: INTEGRITY: %d digest mismatches, %d audit mismatches, %d workers quarantined\n",
+				rep.DigestMismatches, rep.AuditMismatches, rep.Quarantined)
+		}
+		if rep.Audits > 0 || rep.HedgesLaunched > 0 {
+			fmt.Fprintf(os.Stderr,
+				"ristretto-fleet: %d cells audited, %d hedges launched (%d won)\n",
+				rep.Audits, rep.HedgesLaunched, rep.HedgeWins)
+		}
 	}
 	if failed && !*keepGoing {
 		fatal(fmt.Errorf("one or more cells failed"))
 	}
+}
+
+// parseHedge resolves the -hedge flag: empty disables, "auto" selects the
+// adaptive telemetry-derived delay, anything else must be a positive
+// duration.
+func parseHedge(s string) (time.Duration, error) {
+	switch s {
+	case "":
+		return 0, nil
+	case "auto":
+		return fleet.HedgeAuto, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("invalid -hedge %q: want a duration like 150ms, or 'auto'", s)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("invalid -hedge %q: must be positive", s)
+	}
+	return d, nil
 }
 
 // splitList splits a comma-separated flag value, dropping empty items.

@@ -9,6 +9,13 @@
 //     verified on read — a corrupt or torn entry is deleted and reported
 //     as a miss (recomputed, never served), mirroring the checkpoint
 //     journal's discipline;
+//   - entries are digest-bound: every file also carries the end-to-end
+//     sha256 payload digest (experiments.CellPayloadDigest), which binds
+//     the payload bytes to the fingerprint the entry is addressed by. A
+//     payload copied or rewritten under the wrong fingerprint — or a
+//     well-formed-but-wrong payload written by a corrupted writer whose
+//     CRC still matches — fails the digest check and is deleted and
+//     recomputed, never served;
 //   - writes are crash-safe through safeio (temp file + fsync + rename),
 //     so a SIGKILL mid-write leaves the old entry or none, never a hybrid;
 //   - concurrent requests for the same fingerprint singleflight through Do:
@@ -32,14 +39,16 @@ import (
 	"strings"
 	"sync"
 
+	"ristretto/internal/experiments"
 	"ristretto/internal/safeio"
 	"ristretto/internal/telemetry"
 )
 
 // Schema is the first header token of every cache entry file. Bump on
 // incompatible format change; old entries then fail the header check and
-// are recomputed.
-const Schema = "ristretto.cell-cache/v1"
+// are recomputed. v2 added the fingerprint-bound sha256 payload digest to
+// the header — v1 entries (crc-only) fail the schema check and recompute.
+const Schema = "ristretto.cell-cache/v2"
 
 // flight is one in-progress fill: waiters block on done; val/err are set
 // before done closes. Errors are never cached — the flight is how waiters
@@ -105,16 +114,17 @@ func (c *Cache) path(fp string) string {
 }
 
 // Get returns the cached payload for a fingerprint. A present entry whose
-// header or CRC does not verify is deleted and reported as a miss — a
-// corrupt entry is recomputed, never served. The returned bytes are the
-// caller's to keep (freshly read, not shared).
+// header, CRC or fingerprint-bound payload digest does not verify is
+// deleted and reported as a miss — a corrupt entry is recomputed, never
+// served. The returned bytes are the caller's to keep (freshly read, not
+// shared).
 func (c *Cache) Get(fp string) ([]byte, bool) {
 	data, err := os.ReadFile(c.path(fp))
 	if err != nil {
 		c.misses.Inc()
 		return nil, false
 	}
-	payload, ok := decodeEntry(data)
+	payload, ok := decodeEntry(fp, data)
 	if !ok {
 		c.corrupt.Inc()
 		c.misses.Inc()
@@ -133,7 +143,7 @@ func (c *Cache) Put(fp string, payload []byte) error {
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return err
 	}
-	if err := safeio.WriteFile(p, encodeEntry(payload), 0o644); err != nil {
+	if err := safeio.WriteFile(p, encodeEntry(fp, payload), 0o644); err != nil {
 		return err
 	}
 	c.writes.Inc()
@@ -190,18 +200,25 @@ func (c *Cache) Len() int {
 	return n
 }
 
-// encodeEntry frames a payload: one header line "schema crc8hex", then the
-// raw payload bytes (which may themselves contain newlines).
-func encodeEntry(payload []byte) []byte {
+// encodeEntry frames a payload: one header line "schema crc8hex digest",
+// then the raw payload bytes (which may themselves contain newlines). The
+// digest is the fingerprint-bound end-to-end sha256
+// (experiments.CellPayloadDigest), so the entry's integrity is checked
+// against the address it is served under, not just against bit rot.
+func encodeEntry(fp string, payload []byte) []byte {
 	var b bytes.Buffer
-	fmt.Fprintf(&b, "%s %08x\n", Schema, crc32.ChecksumIEEE(payload))
+	fmt.Fprintf(&b, "%s %08x %s\n", Schema, crc32.ChecksumIEEE(payload), experiments.CellPayloadDigest(fp, payload))
 	b.Write(payload)
 	return b.Bytes()
 }
 
-// decodeEntry reverses encodeEntry, rejecting wrong schemas, torn headers
-// and payloads whose CRC does not match.
-func decodeEntry(data []byte) ([]byte, bool) {
+// decodeEntry reverses encodeEntry for the entry addressed by fp,
+// rejecting wrong schemas, torn headers, payloads whose CRC does not
+// match, and payloads whose fingerprint-bound digest does not verify —
+// the last catches well-formed-but-wrong bytes a checksum alone would
+// happily serve (an entry renamed to another fingerprint's path, or a
+// corrupted writer that recomputed the CRC over the wrong payload).
+func decodeEntry(fp string, data []byte) ([]byte, bool) {
 	nl := bytes.IndexByte(data, '\n')
 	if nl < 0 {
 		return nil, false
@@ -209,11 +226,14 @@ func decodeEntry(data []byte) ([]byte, bool) {
 	header := string(data[:nl])
 	payload := data[nl+1:]
 	var sum uint32
-	var schema string
-	if _, err := fmt.Sscanf(header, "%s %08x", &schema, &sum); err != nil || schema != Schema {
+	var schema, digest string
+	if _, err := fmt.Sscanf(header, "%s %08x %s", &schema, &sum, &digest); err != nil || schema != Schema {
 		return nil, false
 	}
 	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, false
+	}
+	if digest != experiments.CellPayloadDigest(fp, payload) {
 		return nil, false
 	}
 	return payload, true

@@ -98,14 +98,16 @@ func TestCorruptEntryRecomputedNotServed(t *testing.T) {
 }
 
 // TestCorruptHeaderRejected covers the other framing failures: truncated
-// header, wrong schema, missing newline.
+// header, wrong or stale schema, missing newline, missing digest.
 func TestCorruptHeaderRejected(t *testing.T) {
 	c, _ := newCache(t)
 	for name, data := range map[string][]byte{
-		"empty":        {},
-		"no-newline":   []byte("ristretto.cell-cache/v1 00000000"),
-		"wrong-schema": []byte("ristretto.other/v9 00000000\npayload"),
-		"bad-crc-hex":  []byte("ristretto.cell-cache/v1 zzzzzzzz\npayload"),
+		"empty":          {},
+		"no-newline":     []byte("ristretto.cell-cache/v2 00000000"),
+		"wrong-schema":   []byte("ristretto.other/v9 00000000 digest\npayload"),
+		"stale-v1":       []byte("ristretto.cell-cache/v1 00000000\npayload"),
+		"bad-crc-hex":    []byte("ristretto.cell-cache/v2 zzzzzzzz digest\npayload"),
+		"missing-digest": []byte("ristretto.cell-cache/v2 00000000\npayload"),
 	} {
 		p := c.path(fpA)
 		os.MkdirAll(filepath.Dir(p), 0o755)
@@ -115,6 +117,51 @@ func TestCorruptHeaderRejected(t *testing.T) {
 		if _, ok := c.Get(fpA); ok {
 			t.Errorf("%s: invalid entry served", name)
 		}
+	}
+}
+
+// TestDigestMismatchDeletedAndRecomputed is the end-to-end integrity
+// property the CRC alone cannot give: an entry whose bytes are perfectly
+// intact (schema, CRC and digest all self-consistent) but which belongs to
+// a DIFFERENT fingerprint — a renamed file, or a confused writer — must
+// never be served under this address. The digest binds payload to
+// fingerprint, so the copied entry is deleted as corrupt and the next Do
+// recomputes.
+func TestDigestMismatchDeletedAndRecomputed(t *testing.T) {
+	c, r := newCache(t)
+	const fpB = "bbbbccddeeff00112233445566778899aabbccddeeff00112233445566778899"
+	payload := []byte("payload computed for cell A")
+	if err := c.Put(fpA, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Replay A's (internally consistent) entry under B's address.
+	data, err := os.ReadFile(c.path(fpA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pB := c.path(fpB)
+	os.MkdirAll(filepath.Dir(pB), 0o755)
+	if err := os.WriteFile(pB, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if v, ok := c.Get(fpB); ok {
+		t.Fatalf("cross-fingerprint entry served: %q", v)
+	}
+	if _, err := os.Stat(pB); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("digest-mismatched entry not deleted")
+	}
+	want := []byte("payload computed for cell B")
+	v, hit, err := c.Do(fpB, func() ([]byte, error) { return want, nil })
+	if err != nil || hit || !bytes.Equal(v, want) {
+		t.Fatalf("recompute after digest mismatch = (%q, hit=%v, err=%v)", v, hit, err)
+	}
+	// The original entry is untouched and still serves A.
+	if v, ok := c.Get(fpA); !ok || !bytes.Equal(v, payload) {
+		t.Fatalf("original entry damaged: (%q, %v)", v, ok)
+	}
+	if snap := r.Snapshot(); snap.Counters["fleet.cache.corrupt"] != 1 {
+		t.Fatalf("corrupt counter = %d, want 1", snap.Counters["fleet.cache.corrupt"])
 	}
 }
 

@@ -25,6 +25,28 @@ import (
 // addressable by a fingerprint computed differently.
 const CellFingerprintSchema = "ristretto.cell/v1"
 
+// CellDigestSchema versions the payload digest's canonical form (see
+// CellPayloadDigest). Bump together with any change to the digest input
+// encoding: a digest computed under an older scheme must never verify.
+const CellDigestSchema = "ristretto.cell-digest/v1"
+
+// CellPayloadDigest is the end-to-end integrity check of the fleet: a hex
+// sha256 over the cell payload bytes *bound to the cell's fingerprint*, so
+// a payload cannot be replayed under a different cell identity. Workers
+// stamp it on /v1/cell responses, the coordinator verifies it before a
+// payload may enter the merge, and the cell cache verifies it on every
+// read — a mismatch anywhere quarantines the source instead of serving
+// corrupt bytes. Like the fingerprint, fields are length-prefixed so no
+// two distinct (fingerprint, payload) pairs share an input encoding.
+func CellPayloadDigest(fingerprint string, payload []byte) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "schema:%d:%s;", len(CellDigestSchema), CellDigestSchema)
+	fmt.Fprintf(h, "fp:%d:%s;", len(fingerprint), fingerprint)
+	fmt.Fprintf(h, "payload:%d:", len(payload))
+	h.Write(payload)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // CellKeys returns every sweep cell key in paper order — the same stable
 // keys the checkpoint journal records. The order is part of the merge
 // contract: MergeCells emits results in this order so a distributed run

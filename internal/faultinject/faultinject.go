@@ -201,14 +201,23 @@ func (s *Schedule) inject(cell, attempt int) error {
 // roll maps (seed, kind, cell) to a uniform value in [0,1), independent of
 // call order or concurrency.
 func (s *Schedule) roll(kind string, cell int) float64 {
+	return rollAt(s.spec.Seed, kind, uint64(cell))
+}
+
+// rollAt maps (seed, kind, key) to a uniform value in [0,1). It is the
+// package's one source of randomness: pure, order-independent, shared by
+// the cell schedule (key = cell index) and the network fault transport
+// (key = request body hash), so a spec's decisions depend only on what is
+// being faulted, never on timing.
+func rollAt(seed int64, kind string, key uint64) float64 {
 	// FNV-1a over the kind keeps different fault kinds decorrelated even
-	// for the same (seed, cell).
+	// for the same (seed, key).
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(kind); i++ {
 		h ^= uint64(kind[i])
 		h *= 1099511628211
 	}
-	x := uint64(s.spec.Seed) ^ h ^ (uint64(cell)+1)*0x9e3779b97f4a7c15
+	x := uint64(seed) ^ h ^ (key+1)*0x9e3779b97f4a7c15
 	// splitmix64 finalizer.
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9

@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"net/http"
 	"testing"
 	"time"
 )
@@ -72,6 +73,48 @@ func FuzzParseSpec(f *testing.F) {
 					t.Fatalf("hook returned non-transient error %v for %q", err, s)
 				}
 			}
+		}
+	})
+}
+
+// FuzzParseNetSpec is the same hardening for the -net-fault flag: no
+// input panics the parser, and accepted specs are internally consistent
+// and safe to instantiate into a transport.
+func FuzzParseNetSpec(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"host=127.0.0.1:8081,seed=9,corrupt=1,truncate=0.2,blackhole=0.1,slowdrip=0.3:50ms",
+		"corrupt=0.5",
+		"truncate=1",
+		"blackhole=0.01",
+		"slowdrip=1:1ms",
+		"slowdrip=1",
+		"slowdrip=1:-5ms",
+		"host=",
+		"seed=-3,corrupt=NaN",
+		"corrupt=2",
+		",",
+		"sabotage=1",
+		"host=a=b",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseNetSpec(s)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		for _, p := range []float64{spec.Corrupt, spec.Truncate, spec.BlackHole, spec.SlowDrip} {
+			if p < 0 || p > 1 {
+				t.Fatalf("accepted prob %v out of [0,1] for %q", p, s)
+			}
+		}
+		if spec.DripDelay < 0 {
+			t.Fatalf("accepted negative drip delay %v for %q", spec.DripDelay, s)
+		}
+		rt := NewTransport(spec, nil)
+		if spec.Zero() != (rt == http.DefaultTransport) {
+			t.Fatalf("Zero()=%v but transport wrapped=%v for %q", spec.Zero(), rt != http.DefaultTransport, s)
 		}
 	})
 }

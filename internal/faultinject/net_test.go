@@ -1,0 +1,213 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseNetSpec(t *testing.T) {
+	spec, err := ParseNetSpec("host=127.0.0.1:8081,seed=9,corrupt=1,truncate=0.25,blackhole=0.5,slowdrip=0.3:50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NetSpec{
+		Seed: 9, Host: "127.0.0.1:8081",
+		Corrupt: 1, Truncate: 0.25, BlackHole: 0.5,
+		SlowDrip: 0.3, DripDelay: 50 * time.Millisecond,
+	}
+	if spec != want {
+		t.Fatalf("spec = %+v, want %+v", spec, want)
+	}
+	if zero, err := ParseNetSpec("  "); err != nil || !zero.Zero() {
+		t.Fatalf("blank spec = (%+v, %v), want zero", zero, err)
+	}
+	for name, bad := range map[string]string{
+		"no-equals":      "corrupt",
+		"bad-prob":       "corrupt=2",
+		"bad-seed":       "seed=x",
+		"unknown-key":    "sabotage=1",
+		"drip-no-delay":  "slowdrip=0.5",
+		"drip-bad-delay": "slowdrip=0.5:fast",
+	} {
+		if _, err := ParseNetSpec(bad); err == nil {
+			t.Errorf("%s: %q accepted", name, bad)
+		}
+	}
+}
+
+// postJSON sends body through client the way the fleet coordinator does
+// (bytes.Reader body, so GetBody is populated for the request hash).
+func postJSON(t *testing.T, client *http.Client, url, body string) (*http.Response, []byte, error) {
+	t.Helper()
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodPost, url, bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return resp, b, err
+}
+
+// TestNetTransportCorruptKeepsJSONBreaksBytes: the corrupted response
+// must still parse as JSON (the fault models silent corruption, not
+// garbage) while differing from what the server sent — and the same
+// request must draw the same corruption every time.
+func TestNetTransportCorruptKeepsJSONBreaksBytes(t *testing.T) {
+	served := `{"cell":"figure1","payload":[{"id":"Fig. 1","rows":[["123","456"]]}]}`
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, served)
+	}))
+	defer ts.Close()
+	client := &http.Client{Transport: NewTransport(NetSpec{Seed: 9, Corrupt: 1}, nil)}
+
+	var first []byte
+	for i := 0; i < 3; i++ {
+		_, b, err := postJSON(t, client, ts.URL, `{"cell":"figure1"}`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) == served {
+			t.Fatal("corrupt=1 response arrived intact")
+		}
+		if !json.Valid(b) {
+			t.Fatalf("corrupted body is not JSON: %q", b)
+		}
+		if i == 0 {
+			first = b
+		} else if !bytes.Equal(b, first) {
+			t.Fatalf("corruption not deterministic:\n%q\n%q", first, b)
+		}
+	}
+}
+
+// TestNetTransportHostScope: faults apply only to the configured host.
+func TestNetTransportHostScope(t *testing.T) {
+	served := `{"n":123456}`
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, served)
+	}))
+	defer ts.Close()
+	client := &http.Client{Transport: NewTransport(NetSpec{Seed: 1, Corrupt: 1, Host: "victim.example:999"}, nil)}
+	_, b, err := postJSON(t, client, ts.URL, `{"cell":"x"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != served {
+		t.Fatalf("fault leaked to out-of-scope host: %q", b)
+	}
+}
+
+// TestNetTransportTruncate: the body is cut short with Content-Length
+// intact, so the client read fails like a dropped connection.
+func TestNetTransportTruncate(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, strings.Repeat("x", 1000))
+	}))
+	defer ts.Close()
+	client := &http.Client{Transport: NewTransport(NetSpec{Seed: 3, Truncate: 1}, nil)}
+	_, b, err := postJSON(t, client, ts.URL, `{"cell":"y"}`)
+	if err == nil && len(b) == 1000 {
+		t.Fatal("truncate=1 delivered the full body cleanly")
+	}
+}
+
+// TestNetTransportBlackHole: the request hangs until its context
+// expires; nothing is delivered.
+func TestNetTransportBlackHole(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "should never arrive")
+	}))
+	defer ts.Close()
+	client := &http.Client{Transport: NewTransport(NetSpec{Seed: 5, BlackHole: 1}, nil)}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL, bytes.NewReader([]byte(`{"cell":"z"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := client.Do(req); err == nil {
+		t.Fatal("black-holed request returned a response")
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Fatal("black hole returned before the context deadline")
+	}
+}
+
+// TestNetTransportSlowDrip: the body arrives intact but strictly slower
+// than the per-chunk delay floor implies.
+func TestNetTransportSlowDrip(t *testing.T) {
+	served := strings.Repeat("d", 4*dripChunk)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, served)
+	}))
+	defer ts.Close()
+	client := &http.Client{Transport: NewTransport(NetSpec{Seed: 7, SlowDrip: 1, DripDelay: 10 * time.Millisecond}, nil)}
+	start := time.Now()
+	_, b, err := postJSON(t, client, ts.URL, `{"cell":"w"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != served {
+		t.Fatalf("slow-drip altered the body: %d bytes", len(b))
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("4-chunk drip finished in %v, want >= 40ms", elapsed)
+	}
+}
+
+// TestNetTransportDeterministicPerBody: different request bodies draw
+// independent fault decisions; the same body always draws the same one.
+func TestNetTransportDeterministicPerBody(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"v":987654321}`)
+	}))
+	defer ts.Close()
+	client := &http.Client{Transport: NewTransport(NetSpec{Seed: 11, Corrupt: 0.5}, nil)}
+	verdicts := map[string]bool{}
+	hitBoth := map[bool]bool{}
+	for i := 0; i < 64; i++ {
+		body := `{"cell":"c` + strings.Repeat("x", i) + `"}`
+		for rep := 0; rep < 2; rep++ {
+			_, b, err := postJSON(t, client, ts.URL, body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			corrupted := string(b) != `{"v":987654321}`
+			if rep == 0 {
+				verdicts[body] = corrupted
+				hitBoth[corrupted] = true
+			} else if verdicts[body] != corrupted {
+				t.Fatalf("body %q changed verdict between sends", body)
+			}
+		}
+	}
+	if !hitBoth[true] || !hitBoth[false] {
+		t.Fatal("corrupt=0.5 over 64 bodies never produced both verdicts")
+	}
+}
+
+// TestCorruptDigitEdgeCases: the mutator always changes the bytes and
+// never panics, whatever the body looks like.
+func TestCorruptDigitEdgeCases(t *testing.T) {
+	for _, body := range []string{"1", "abc", "no digits here!", "x9", strings.Repeat("a", 100) + "5"} {
+		out := corruptDigit([]byte(body))
+		if bytes.Equal(out, []byte(body)) {
+			t.Errorf("corruptDigit(%q) unchanged", body)
+		}
+	}
+	if out := corruptDigit(nil); len(out) != 0 {
+		t.Errorf("corruptDigit(nil) = %q", out)
+	}
+}

@@ -1,0 +1,67 @@
+package fleet
+
+// The coordinator's HTTP plumbing. The old coarse http.Client{Timeout}
+// bounded connect, queue and compute with one knob; the tuned transport
+// separates them — fast connect/TLS/header failure detection, pooled
+// keep-alive connections per worker — and leaves the end-to-end bound to
+// the per-attempt context (Config.RequestTimeout), which is what hedging
+// and cancellation need to cut a losing attempt loose mid-flight.
+
+import (
+	"net"
+	"net/http"
+	"time"
+
+	"ristretto/internal/faultinject"
+)
+
+const (
+	// dialTimeout bounds TCP connect to a worker: a black-holed or dead
+	// address fails in seconds, not in the per-attempt budget.
+	dialTimeout = 5 * time.Second
+	// tlsTimeout bounds the TLS handshake (workers are usually plain HTTP;
+	// this only matters behind a terminating proxy).
+	tlsTimeout = 5 * time.Second
+	// idleConnTimeout recycles pooled keep-alive connections.
+	idleConnTimeout = 90 * time.Second
+	// maxIdlePerWorker keeps a few warm connections per worker — dispatch,
+	// hedge and audit traffic to one host reuse them instead of
+	// re-handshaking.
+	maxIdlePerWorker = 8
+)
+
+// newClient builds the coordinator's HTTP client for cfg: a tuned
+// transport wrapped (when a net-fault spec is configured) in the
+// fault-injecting RoundTripper. No client-level Timeout — each attempt
+// carries its own context deadline, so a hedge can outlive the primary it
+// races.
+func newClient(cfg *Config) *http.Client {
+	base := &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   dialTimeout,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		TLSHandshakeTimeout: tlsTimeout,
+		// Headers arrive only after the worker computes the cell, so the
+		// header timeout IS the compute bound — align it with the
+		// per-attempt budget rather than racing it.
+		ResponseHeaderTimeout: cfg.RequestTimeout,
+		MaxIdleConns:          8 * maxIdlePerWorker,
+		MaxIdleConnsPerHost:   maxIdlePerWorker,
+		IdleConnTimeout:       idleConnTimeout,
+		ExpectContinueTimeout: time.Second,
+	}
+	return &http.Client{Transport: faultinject.NewTransport(cfg.NetFault, base)}
+}
+
+// wrapClient applies the net-fault transport to a caller-supplied client
+// (tests inject httptest clients) without mutating the original.
+func wrapClient(client *http.Client, spec faultinject.NetSpec) *http.Client {
+	if spec.Zero() {
+		return client
+	}
+	cp := *client
+	cp.Transport = faultinject.NewTransport(spec, client.Transport)
+	return &cp
+}

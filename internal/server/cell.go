@@ -74,12 +74,19 @@ func (r *CellRequest) spec() experiments.CellSpec {
 // CellResponse answers /v1/cell with the cell's journal payload. Payload
 // bytes are the cache/merge currency: the coordinator never re-encodes
 // them, so what the worker computed is what the manifest decodes.
+// PayloadSHA256 is the end-to-end integrity digest
+// (experiments.CellPayloadDigest over the fingerprint and the payload
+// bytes): the coordinator recomputes it before the payload may enter the
+// merge or a cache, so a response corrupted in flight — or a worker whose
+// stamped digest does not match its own payload — is quarantined instead
+// of silently merged.
 type CellResponse struct {
-	Cell        string          `json:"cell"`
-	Fingerprint string          `json:"fingerprint"`
-	Payload     json.RawMessage `json:"payload"`
-	Cached      bool            `json:"cached,omitempty"` // served from the cell cache
-	ElapsedMS   float64         `json:"elapsed_ms"`
+	Cell          string          `json:"cell"`
+	Fingerprint   string          `json:"fingerprint"`
+	Payload       json.RawMessage `json:"payload"`
+	PayloadSHA256 string          `json:"payload_sha256"`
+	Cached        bool            `json:"cached,omitempty"` // served from the cell cache
+	ElapsedMS     float64         `json:"elapsed_ms"`
 }
 
 func (r *CellResponse) setElapsed(ms float64) { r.ElapsedMS = ms }
@@ -140,6 +147,7 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 	}
 	s.finish(w, "cell", tc, start, &CellResponse{
 		Cell: req.Cell, Fingerprint: fp, Payload: payload, Cached: hit,
+		PayloadSHA256: experiments.CellPayloadDigest(fp, payload),
 	})
 }
 

@@ -41,6 +41,9 @@ func TestCellEndpointMatchesLocalRun(t *testing.T) {
 		if cr.Fingerprint != bench.CellSpec(cell).Fingerprint() {
 			t.Errorf("cell %q fingerprint %q does not match the local spec", cell, cr.Fingerprint)
 		}
+		if want := experiments.CellPayloadDigest(cr.Fingerprint, cr.Payload); cr.PayloadSHA256 != want {
+			t.Errorf("cell %q payload_sha256 %q does not verify (want %q)", cell, cr.PayloadSHA256, want)
+		}
 		if rs, err := experiments.DecodeCellPayload(cr.Payload); err != nil || len(rs) == 0 {
 			t.Errorf("cell %q payload undecodable: %v", cell, err)
 		}

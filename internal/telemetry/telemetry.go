@@ -91,6 +91,12 @@ func (h *Histogram) Observe(v int64) {
 	}
 }
 
+// Count returns how many observations the histogram has recorded — the
+// cheap cardinality check callers use to decide whether quantile
+// estimates are meaningful yet (the fleet's adaptive hedge delay gates on
+// a minimum sample count before trusting P95).
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
 // HistogramSummary is a point-in-time rollup of a Histogram, as serialized
 // into run manifests and the serving daemon's /metrics endpoint. P50/P95/P99
 // are bucket-interpolated estimates (see Quantile), exact only up to the
