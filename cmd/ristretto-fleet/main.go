@@ -7,10 +7,13 @@
 //
 //	ristretto-fleet -workers http://h1:8390,http://h2:8390
 //	                [-seed N] [-scale N] [-nets AlexNet,ResNet-18]
-//	                [-cache-dir dir] [-deadline-ms N] [-timeout 5m]
+//	                [-cache-dir dir] [-cache-max-bytes N]
+//	                [-deadline-ms N] [-timeout 5m]
 //	                [-strikes 3] [-journal path] [-resume]
 //	                [-audit F] [-hedge auto|DUR] [-net-fault SPEC]
-//	                [-report path] [-q] [-keep-going] [-version]
+//	                [-disk-fault SPEC] [-report path] [-q] [-keep-going]
+//	                [-version]
+//	ristretto-fleet -scrub -cache-dir dir [-disk-fault SPEC] [-q]
 //
 // The coordinator enumerates the suite's sweep cells, serves any already
 // present in the content-addressed cache at -cache-dir locally, and
@@ -37,6 +40,17 @@
 // internal/faultinject: corrupt, truncate, blackhole, slowdrip, optionally
 // host-scoped) — the chaos harness for all of the above.
 //
+// Storage robustness: the -cache-dir cell cache is scrubbed on open
+// (corrupt or bit-rotted entries deleted), -cache-max-bytes bounds its
+// footprint with deterministic second-chance eviction, and persistent
+// write failures (a full disk) degrade it to read-only — the sweep slows
+// down but never fails or changes its output. -disk-fault threads the
+// seed-deterministic disk fault FS (ENOSPC, EIO, failed fsync, torn
+// writes, bit rot — spec grammar in EXPERIMENTS.md) under the
+// coordinator's cache and journal; the disk-chaos CI gate diffs a faulted
+// sweep byte-for-byte against `ristretto-bench -q`. -scrub runs a
+// standalone scrub pass over -cache-dir and exits (no workers needed).
+//
 // -report writes a JSON fleet report (cells, per-cell outcomes, steal,
 // reassignment, integrity, hedge and resume counts, cache hits) — the CI
 // cache-warm gate reads it to assert a repeat sweep is ≥90% cache-served,
@@ -56,6 +70,7 @@ import (
 	"syscall"
 	"time"
 
+	"ristretto/internal/cellcache"
 	"ristretto/internal/faultinject"
 	"ristretto/internal/fleet"
 	"ristretto/internal/safeio"
@@ -68,6 +83,8 @@ func main() {
 	scale := flag.Int("scale", 1, "spatial scale-down factor (1 = paper scale)")
 	nets := flag.String("nets", "", "comma-separated benchmark networks (empty = full benchmark)")
 	cacheDir := flag.String("cache-dir", "", "coordinator-side content-addressed cell cache directory (empty disables)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "cell cache capacity bound in bytes; excess entries are evicted second-chance (0 = unbounded)")
+	scrub := flag.Bool("scrub", false, "scrub the -cache-dir cell cache (verify and delete corrupt entries), then exit")
 	deadlineMS := flag.Int64("deadline-ms", 0, "per-cell deadline sent to workers in milliseconds (0 = worker default)")
 	timeout := flag.Duration("timeout", 0, "end-to-end bound on one cell request, including worker queue time (0 = 5m)")
 	strikes := flag.Int("strikes", 0, "consecutive retryable failures that retire a worker (0 = 3)")
@@ -76,6 +93,7 @@ func main() {
 	audit := flag.Float64("audit", 0, "fraction of verified cells to re-execute on a second worker (0 disables, 1 = all)")
 	hedge := flag.String("hedge", "", "hedge stragglers after this delay, e.g. 150ms, or 'auto' for 3x observed P95 (empty disables)")
 	netFault := flag.String("net-fault", "", "inject response faults into the coordinator's HTTP client, e.g. 'host=h1:8390,seed=9,corrupt=1' (chaos testing)")
+	diskFault := flag.String("disk-fault", "", "inject disk faults under the cell cache and journal, e.g. 'path=cells/*,seed=7,enospc=1' (chaos testing)")
 	reportPath := flag.String("report", "", "write the JSON fleet report to this path")
 	quiet := flag.Bool("q", false, "suppress the run-stats footer")
 	keepGoing := flag.Bool("keep-going", false, "exit 0 even when cells failed deterministically")
@@ -88,6 +106,21 @@ func main() {
 	}
 	log.SetPrefix("ristretto-fleet: ")
 	log.SetFlags(0)
+
+	diskSpec, err := faultinject.ParseDiskSpec(*diskFault)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *scrub {
+		if *cacheDir == "" {
+			fatal(fmt.Errorf("-scrub requires -cache-dir"))
+		}
+		if err := runScrub(*cacheDir, diskSpec, *quiet); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *workers == "" {
 		fatal(fmt.Errorf("-workers is required (comma-separated ristretto-serve URLs)"))
@@ -109,6 +142,8 @@ func main() {
 		Scale:          *scale,
 		Nets:           splitList(*nets),
 		CacheDir:       *cacheDir,
+		CacheMaxBytes:  *cacheMaxBytes,
+		DiskFault:      diskSpec,
 		DeadlineMS:     *deadlineMS,
 		RequestTimeout: *timeout,
 		WorkerStrikes:  *strikes,
@@ -174,10 +209,45 @@ func main() {
 				"ristretto-fleet: %d cells audited, %d hedges launched (%d won)\n",
 				rep.Audits, rep.HedgesLaunched, rep.HedgeWins)
 		}
+		if rep.CacheWriteErrors > 0 || rep.CacheReadErrors > 0 || rep.CacheEvicted > 0 || rep.CacheCorrupt > 0 || rep.CacheDegraded {
+			state := ""
+			if rep.CacheDegraded {
+				state = ", cache DEGRADED to read-only"
+			}
+			fmt.Fprintf(os.Stderr,
+				"ristretto-fleet: CACHE: %d write errors, %d read errors, %d evicted, %d scrubbed (%d corrupt deleted)%s\n",
+				rep.CacheWriteErrors, rep.CacheReadErrors, rep.CacheEvicted, rep.CacheScrubbed, rep.CacheCorrupt, state)
+		}
 	}
 	if failed && !*keepGoing {
 		fatal(fmt.Errorf("one or more cells failed"))
 	}
+}
+
+// runScrub opens the cell cache through the (possibly fault-injected)
+// filesystem, walks every entry verifying CRC and fingerprint-bound digest,
+// deletes what does not verify, and prints a summary.
+func runScrub(dir string, spec faultinject.DiskSpec, quiet bool) error {
+	fsys := faultinject.NewDiskFS(spec, nil)
+	c, err := cellcache.OpenWith(dir, nil, cellcache.Options{FS: fsys})
+	if err != nil {
+		return err
+	}
+	rep, err := c.Scrub()
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr,
+			"ristretto-fleet: scrub %s: %d entries checked, %d corrupt deleted, %d unreadable deleted, %d bytes retained\n",
+			dir, rep.Checked, rep.Corrupt, rep.ReadErrors, rep.Bytes)
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
 }
 
 // parseHedge resolves the -hedge flag: empty disables, "auto" selects the

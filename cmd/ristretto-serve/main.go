@@ -15,18 +15,25 @@
 //	                [-batch-window 1ms] [-max-batch 16] [-batch-queue-share N]
 //	                [-tenant-rate 0] [-tenant-burst N] [-max-tenants 10000]
 //	                [-default-scale 16] [-drain-grace 30s]
-//	                [-cell-cache-dir dir]
-//	                [-fault spec] [-version]
+//	                [-cell-cache-dir dir] [-cell-cache-max-bytes 0]
+//	                [-fault spec] [-disk-fault spec] [-version]
 //	                [-cpuprofile f] [-memprofile f] [-trace f] [-pprof addr]
 //
 // Endpoints: POST /v1/model, /v1/sim, /v1/quant, /v1/conformance, and
 // /v1/cell — one full sweep cell per request, the unit of work
 // ristretto-fleet distributes; -cell-cache-dir arms a content-addressed
-// on-disk cache of cell payloads keyed by fingerprint.
+// on-disk cache of cell payloads keyed by fingerprint; the cache is
+// scrubbed on open (corrupt entries deleted), -cell-cache-max-bytes bounds
+// its footprint, and persistent write failures degrade it to read-only
+// instead of failing requests.
 // GET /healthz, /readyz, /metrics. The -fault flag takes the same
 // seed-deterministic schedule spec as the batch CLIs (see EXPERIMENTS.md)
 // and injects it into request handling — the chaos CI job uses it to prove
-// injected panics 500 one request without killing the daemon.
+// injected panics 500 one request without killing the daemon. -disk-fault
+// threads the seed-deterministic disk fault FS (ENOSPC, EIO, failed fsync,
+// torn writes, bit rot — see EXPERIMENTS.md) under the cell cache; the
+// disk-chaos job uses it to prove a rotting worker cache still serves
+// correct payloads.
 package main
 
 import (
@@ -67,8 +74,10 @@ func main() {
 	maxTenants := flag.Int("max-tenants", 0, "tracked tenant buckets before overflow tenants share one (0 = 10000)")
 	defaultScale := flag.Int("default-scale", 16, "spatial scale-down applied when a request names none")
 	cellCacheDir := flag.String("cell-cache-dir", "", "directory for the content-addressed /v1/cell payload cache (empty disables)")
+	cellCacheMaxBytes := flag.Int64("cell-cache-max-bytes", 0, "cell cache capacity bound in bytes; excess entries are evicted second-chance (0 = unbounded)")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 	faultSpec := flag.String("fault", "", "fault-injection schedule for request handling (e.g. seed=7,panic=0.05,delay=0.2:5ms)")
+	diskFaultSpec := flag.String("disk-fault", "", "disk fault-injection spec for the cell cache (e.g. path=cells/*,seed=7,bit-rot=0.2)")
 	version := flag.Bool("version", false, "print version and VCS info, then exit")
 	var prof telemetry.Profiler
 	prof.RegisterFlags(flag.CommandLine)
@@ -95,13 +104,31 @@ func main() {
 		fatal(err)
 	}
 
+	diskSpec, err := faultinject.ParseDiskSpec(*diskFaultSpec)
+	if err != nil {
+		fatal(err)
+	}
+
 	var cells *cellcache.Cache
 	if *cellCacheDir != "" {
-		cells, err = cellcache.Open(*cellCacheDir, nil)
+		fsys := faultinject.NewDiskFS(diskSpec, nil)
+		if !diskSpec.Zero() {
+			log.Printf("disk fault injection armed: %q", *diskFaultSpec)
+		}
+		cells, err = cellcache.OpenWith(*cellCacheDir, nil, cellcache.Options{
+			FS:          fsys,
+			MaxBytes:    *cellCacheMaxBytes,
+			ScrubOnOpen: true,
+		})
 		if err != nil {
 			fatal(err)
 		}
-		log.Printf("cell cache at %s (%d entries)", cells.Dir(), cells.Len())
+		n, lerr := cells.Len()
+		if lerr != nil {
+			log.Printf("cell cache at %s (census failed: %v)", cells.Dir(), lerr)
+		} else {
+			log.Printf("cell cache at %s (%d entries)", cells.Dir(), n)
+		}
 	}
 
 	srv := server.New(server.Config{

@@ -26,16 +26,36 @@
 //     computation that produced them (the cache correctness tests enforce
 //     all of this).
 //
+// The disk is not trusted either (the disk-fault chaos suites exercise all
+// of this through the safeio FS seam):
+//
+//   - a cache whose writes keep failing (ENOSPC, failed fsync) degrades to
+//     read-only pass-through after Options.WriteFailLimit consecutive
+//     failures: results still flow, they just stop being cached — a full
+//     disk slows a sweep down, it never fails one;
+//   - read errors that are not ENOENT are counted separately from plain
+//     misses and answered by recomputation, never by guessing;
+//   - Scrub walks every entry, verifies CRC and digest, and deletes what
+//     does not verify — run on open by the fleet and the serve daemon, and
+//     on demand via ristretto-fleet -scrub;
+//   - Options.MaxBytes bounds the store: a deterministic second-chance
+//     (clock) sweep evicts cold entries — hits set the reference bit — so
+//     the on-disk footprint stays put while a warm working set keeps its
+//     >=90% hit rate.
+//
 // Telemetry lands under fleet.cache.*: hits, misses, writes, corrupt
-// entries and inflight dedups.
+// entries, inflight dedups, write_errors, read_errors, evicted, scrubbed
+// and degraded.
 package cellcache
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
+	"io/fs"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -50,6 +70,30 @@ import (
 // the header — v1 entries (crc-only) fail the schema check and recompute.
 const Schema = "ristretto.cell-cache/v2"
 
+// ErrDegraded is returned by Put once the cache has degraded to read-only
+// after persistent write failures. Callers already treat Put errors as
+// "uncached but correct"; the sentinel lets them tell degradation from a
+// fresh failure.
+var ErrDegraded = errors.New("cellcache: degraded to read-only after persistent write failures")
+
+// Options tunes a cache beyond the defaults Open picks.
+type Options struct {
+	// FS is the filesystem seam (nil = safeio.OS). The disk-fault chaos
+	// suites inject a lying disk here.
+	FS safeio.FS
+	// MaxBytes bounds the total size of entry files; 0 = unbounded. When a
+	// write pushes the store over the bound, a deterministic second-chance
+	// sweep evicts cold entries until it fits.
+	MaxBytes int64
+	// ScrubOnOpen verifies every entry (CRC + digest) while opening,
+	// deleting what does not verify. The fleet coordinator and the serve
+	// daemon open with this set; bare Open does not.
+	ScrubOnOpen bool
+	// WriteFailLimit is how many consecutive Put failures degrade the
+	// cache to read-only pass-through; 0 = 3, negative = never degrade.
+	WriteFailLimit int
+}
+
 // flight is one in-progress fill: waiters block on done; val/err are set
 // before done closes. Errors are never cached — the flight is how waiters
 // learn about them.
@@ -59,49 +103,118 @@ type flight struct {
 	err  error
 }
 
+// entry is the in-memory accounting for one on-disk file: its size and the
+// second-chance reference bit (set on every hit, cleared by the sweeping
+// clock hand; an entry the hand finds cleared is evicted).
+type entry struct {
+	fp   string
+	size int64
+	ref  bool
+}
+
 // Cache is the content-addressed store rooted at a directory. Entries are
 // sharded two hex chars deep (dir/ab/abcd...) to keep directories small at
 // fleet scale. Safe for concurrent use by multiple goroutines; multiple
 // processes may share a directory (atomic same-content writes commute),
-// though the singleflight span is per-process.
+// though the singleflight span — and the capacity accounting — is
+// per-process.
 type Cache struct {
-	dir string
+	dir  string
+	fsys safeio.FS
 
 	mu      sync.Mutex
 	flights map[string]*flight
 
-	hits    *telemetry.Counter
-	misses  *telemetry.Counter
-	writes  *telemetry.Counter
-	corrupt *telemetry.Counter
-	dedup   *telemetry.Counter
+	// emu guards the capacity/eviction state and the degraded flag.
+	emu         sync.Mutex
+	entries     map[string]*entry
+	clock       []*entry // ring in discovery order; nil = evicted hole
+	hand        int
+	total       int64
+	maxBytes    int64
+	failLimit   int
+	consecFails int
+	degraded    bool
+
+	hits        *telemetry.Counter
+	misses      *telemetry.Counter
+	writes      *telemetry.Counter
+	corrupt     *telemetry.Counter
+	dedup       *telemetry.Counter
+	writeErrors *telemetry.Counter
+	readErrors  *telemetry.Counter
+	evicted     *telemetry.Counter
+	scrubbed    *telemetry.Counter
+	degradedC   *telemetry.Counter
 }
 
-// Open prepares a cache rooted at dir, creating it as needed. Metrics land
-// in r (nil = telemetry.Default) under fleet.cache.*.
+// Open prepares a cache rooted at dir with default options, creating it as
+// needed. Metrics land in r (nil = telemetry.Default) under fleet.cache.*.
 func Open(dir string, r *telemetry.Registry) (*Cache, error) {
+	return OpenWith(dir, r, Options{})
+}
+
+// OpenWith is Open with explicit Options. With ScrubOnOpen set the whole
+// store is verified (and corrupt entries deleted) before OpenWith returns;
+// with MaxBytes set the store is inventoried and evicted down to the bound.
+func OpenWith(dir string, r *telemetry.Registry, opts Options) (*Cache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("cellcache: empty cache directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = safeio.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	if r == nil {
 		r = telemetry.Default
 	}
-	return &Cache{
-		dir:     dir,
-		flights: map[string]*flight{},
-		hits:    r.Counter("fleet.cache.hits"),
-		misses:  r.Counter("fleet.cache.misses"),
-		writes:  r.Counter("fleet.cache.writes"),
-		corrupt: r.Counter("fleet.cache.corrupt"),
-		dedup:   r.Counter("fleet.cache.inflight_dedup"),
-	}, nil
+	failLimit := opts.WriteFailLimit
+	if failLimit == 0 {
+		failLimit = 3
+	}
+	c := &Cache{
+		dir:         dir,
+		fsys:        fsys,
+		flights:     map[string]*flight{},
+		entries:     map[string]*entry{},
+		maxBytes:    opts.MaxBytes,
+		failLimit:   failLimit,
+		hits:        r.Counter("fleet.cache.hits"),
+		misses:      r.Counter("fleet.cache.misses"),
+		writes:      r.Counter("fleet.cache.writes"),
+		corrupt:     r.Counter("fleet.cache.corrupt"),
+		dedup:       r.Counter("fleet.cache.inflight_dedup"),
+		writeErrors: r.Counter("fleet.cache.write_errors"),
+		readErrors:  r.Counter("fleet.cache.read_errors"),
+		evicted:     r.Counter("fleet.cache.evicted"),
+		scrubbed:    r.Counter("fleet.cache.scrubbed"),
+		degradedC:   r.Counter("fleet.cache.degraded"),
+	}
+	if opts.ScrubOnOpen {
+		if _, err := c.Scrub(); err != nil {
+			return nil, fmt.Errorf("cellcache: scrub on open: %w", err)
+		}
+	} else if c.maxBytes > 0 {
+		if err := c.inventory(); err != nil {
+			return nil, fmt.Errorf("cellcache: inventory: %w", err)
+		}
+	}
+	return c, nil
 }
 
 // Dir returns the cache root.
 func (c *Cache) Dir() string { return c.dir }
+
+// Degraded reports whether persistent write failures have degraded the
+// cache to read-only pass-through.
+func (c *Cache) Degraded() bool {
+	c.emu.Lock()
+	defer c.emu.Unlock()
+	return c.degraded
+}
 
 // path maps a fingerprint to its entry file. Fingerprints are hex sha256
 // strings; anything shorter than the shard width still gets a stable path.
@@ -113,14 +226,23 @@ func (c *Cache) path(fp string) string {
 	return filepath.Join(c.dir, shard, fp)
 }
 
+// EntryPath returns the file a fingerprint's entry lives at — for tools
+// and the crash-consistency matrix, which plants torn entries there.
+func (c *Cache) EntryPath(fp string) string { return c.path(fp) }
+
 // Get returns the cached payload for a fingerprint. A present entry whose
 // header, CRC or fingerprint-bound payload digest does not verify is
 // deleted and reported as a miss — a corrupt entry is recomputed, never
-// served. The returned bytes are the caller's to keep (freshly read, not
-// shared).
+// served. A read that fails for any reason other than the entry not
+// existing counts under fleet.cache.read_errors (and still misses: real
+// I/O trouble is answered by recomputation, not by guessing). The returned
+// bytes are the caller's to keep (freshly read, not shared).
 func (c *Cache) Get(fp string) ([]byte, bool) {
-	data, err := os.ReadFile(c.path(fp))
+	data, err := c.fsys.ReadFile(c.path(fp))
 	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			c.readErrors.Inc()
+		}
 		c.misses.Inc()
 		return nil, false
 	}
@@ -128,26 +250,56 @@ func (c *Cache) Get(fp string) ([]byte, bool) {
 	if !ok {
 		c.corrupt.Inc()
 		c.misses.Inc()
-		os.Remove(c.path(fp))
+		c.fsys.Remove(c.path(fp))
+		c.dropEntry(fp)
 		return nil, false
 	}
 	c.hits.Inc()
+	c.noteEntry(fp, int64(len(data)))
 	return payload, true
 }
 
 // Put stores a payload under its fingerprint, crash-safely. Re-putting an
 // existing fingerprint rewrites the same content (content addressing: the
-// bytes are a pure function of the fingerprint's cell).
+// bytes are a pure function of the fingerprint's cell). Failures count
+// under fleet.cache.write_errors; after WriteFailLimit consecutive
+// failures the cache degrades to read-only and Put returns ErrDegraded
+// without touching the disk — a full disk must only ever cost speed.
 func (c *Cache) Put(fp string, payload []byte) error {
-	p := c.path(fp)
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
-		return err
+	c.emu.Lock()
+	if c.degraded {
+		c.emu.Unlock()
+		return ErrDegraded
 	}
-	if err := safeio.WriteFile(p, encodeEntry(fp, payload), 0o644); err != nil {
+	c.emu.Unlock()
+	data := encodeEntry(fp, payload)
+	err := c.write(fp, data)
+	if err != nil {
+		c.writeErrors.Inc()
+		c.emu.Lock()
+		c.consecFails++
+		if c.failLimit > 0 && c.consecFails >= c.failLimit && !c.degraded {
+			c.degraded = true
+			c.degradedC.Inc()
+		}
+		c.emu.Unlock()
 		return err
 	}
 	c.writes.Inc()
+	c.emu.Lock()
+	c.consecFails = 0
+	c.emu.Unlock()
+	c.noteEntry(fp, int64(len(data)))
 	return nil
+}
+
+// write performs the crash-safe on-disk store of one encoded entry.
+func (c *Cache) write(fp string, data []byte) error {
+	p := c.path(fp)
+	if err := c.fsys.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	return safeio.WriteFileFS(c.fsys, p, data, 0o644)
 }
 
 // Do answers a fingerprint through the cache with singleflight semantics:
@@ -176,6 +328,8 @@ func (c *Cache) Do(fp string, compute func() ([]byte, error)) (payload []byte, h
 	if cerr == nil {
 		// A failed write degrades to uncached: the result is still correct
 		// and still published to waiters, it just won't be a hit next time.
+		// Put itself tallies the failure under fleet.cache.write_errors and
+		// trips the read-only degradation, so nothing is silent.
 		_ = c.Put(fp, v)
 	}
 	c.mu.Lock()
@@ -187,17 +341,21 @@ func (c *Cache) Do(fp string, compute func() ([]byte, error)) (payload []byte, h
 }
 
 // Len walks the store and counts valid-looking entries — an O(entries)
-// maintenance/test helper, not a hot-path call.
-func (c *Cache) Len() int {
+// maintenance/test helper, not a hot-path call. Walk errors surface
+// instead of silently shrinking the count.
+func (c *Cache) Len() (int, error) {
 	n := 0
-	filepath.Walk(c.dir, func(path string, info os.FileInfo, err error) error {
-		if err != nil || info.IsDir() || strings.HasPrefix(filepath.Base(path), ".") {
+	err := c.fsys.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || strings.HasPrefix(filepath.Base(path), ".") {
 			return nil
 		}
 		n++
 		return nil
 	})
-	return n
+	return n, err
 }
 
 // encodeEntry frames a payload: one header line "schema crc8hex digest",
@@ -213,11 +371,12 @@ func encodeEntry(fp string, payload []byte) []byte {
 }
 
 // decodeEntry reverses encodeEntry for the entry addressed by fp,
-// rejecting wrong schemas, torn headers, payloads whose CRC does not
-// match, and payloads whose fingerprint-bound digest does not verify —
-// the last catches well-formed-but-wrong bytes a checksum alone would
-// happily serve (an entry renamed to another fingerprint's path, or a
-// corrupted writer that recomputed the CRC over the wrong payload).
+// rejecting wrong schemas, torn headers, headers with trailing junk after
+// the digest token, payloads whose CRC does not match, and payloads whose
+// fingerprint-bound digest does not verify — the last catches
+// well-formed-but-wrong bytes a checksum alone would happily serve (an
+// entry renamed to another fingerprint's path, or a corrupted writer that
+// recomputed the CRC over the wrong payload).
 func decodeEntry(fp string, data []byte) ([]byte, bool) {
 	nl := bytes.IndexByte(data, '\n')
 	if nl < 0 {
@@ -225,15 +384,21 @@ func decodeEntry(fp string, data []byte) ([]byte, bool) {
 	}
 	header := string(data[:nl])
 	payload := data[nl+1:]
-	var sum uint32
-	var schema, digest string
-	if _, err := fmt.Sscanf(header, "%s %08x %s", &schema, &sum, &digest); err != nil || schema != Schema {
+	// Exactly three fields: "schema crc8hex digest". Sscanf-style parsing
+	// would accept trailing junk after the digest, which a strict framing
+	// check must not.
+	fields := strings.Fields(header)
+	if len(fields) != 3 || fields[0] != Schema || len(fields[1]) != 8 {
 		return nil, false
 	}
-	if crc32.ChecksumIEEE(payload) != sum {
+	sum64, err := strconv.ParseUint(fields[1], 16, 32)
+	if err != nil {
 		return nil, false
 	}
-	if digest != experiments.CellPayloadDigest(fp, payload) {
+	if crc32.ChecksumIEEE(payload) != uint32(sum64) {
+		return nil, false
+	}
+	if fields[2] != experiments.CellPayloadDigest(fp, payload) {
 		return nil, false
 	}
 	return payload, true

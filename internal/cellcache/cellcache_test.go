@@ -238,7 +238,7 @@ func TestDistinctFingerprintsIndependent(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if n := c.Len(); n != 5 {
+	if n, err := c.Len(); err != nil || n != 5 {
 		t.Fatalf("Len = %d, want 5", n)
 	}
 	for i := 0; i < 5; i++ {

@@ -1,0 +1,205 @@
+package cellcache
+
+// Self-scrubbing and the capacity bound. Both walk the store in lexical
+// (WalkDir) order, which makes the clock ring — and therefore the
+// second-chance eviction sequence — deterministic for a given history of
+// puts and hits: the disk-chaos CI gate relies on a capacity-bounded rerun
+// evicting the same entries on every machine.
+
+import (
+	"io/fs"
+	"path/filepath"
+	"strings"
+)
+
+// ScrubReport summarizes one scrub pass.
+type ScrubReport struct {
+	// Checked is how many entry files the pass examined.
+	Checked int `json:"checked"`
+	// Corrupt is how many failed CRC/digest verification and were deleted.
+	Corrupt int `json:"corrupt"`
+	// ReadErrors is how many could not be read at all (counted separately,
+	// also deleted: an unreadable entry can never be served).
+	ReadErrors int `json:"read_errors"`
+	// Bytes is the total size of the valid entries retained.
+	Bytes int64 `json:"bytes"`
+}
+
+// Scrub walks every entry, verifies its CRC and fingerprint-bound digest,
+// and deletes what does not verify — bit rot is caught here instead of on
+// some future Get. The in-memory capacity inventory is rebuilt from the
+// surviving entries (reference bits cleared, so unscanned-cold entries are
+// first in line for eviction), and if the store exceeds MaxBytes it is
+// evicted down to the bound before Scrub returns. Entries examined count
+// under fleet.cache.scrubbed; deletions under fleet.cache.corrupt and
+// fleet.cache.read_errors.
+func (c *Cache) Scrub() (ScrubReport, error) {
+	var rep ScrubReport
+	var live []*entry
+	err := c.fsys.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		fp := filepath.Base(path)
+		if d.IsDir() || strings.HasPrefix(fp, ".") {
+			return nil
+		}
+		rep.Checked++
+		c.scrubbed.Inc()
+		data, rerr := c.fsys.ReadFile(path)
+		if rerr != nil {
+			rep.ReadErrors++
+			c.readErrors.Inc()
+			c.fsys.Remove(path)
+			return nil
+		}
+		if _, ok := decodeEntry(fp, data); !ok {
+			rep.Corrupt++
+			c.corrupt.Inc()
+			c.fsys.Remove(path)
+			return nil
+		}
+		rep.Bytes += int64(len(data))
+		live = append(live, &entry{fp: fp, size: int64(len(data))})
+		return nil
+	})
+	if err != nil {
+		return rep, err
+	}
+	c.resetInventory(live)
+	return rep, nil
+}
+
+// inventory rebuilds the capacity accounting from file sizes alone — the
+// cheap walk OpenWith uses when a bound is set without a scrub.
+func (c *Cache) inventory() error {
+	var live []*entry
+	err := c.fsys.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		fp := filepath.Base(path)
+		if d.IsDir() || strings.HasPrefix(fp, ".") {
+			return nil
+		}
+		info, ierr := d.Info()
+		if ierr != nil {
+			return ierr
+		}
+		live = append(live, &entry{fp: fp, size: info.Size()})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	c.resetInventory(live)
+	return nil
+}
+
+// resetInventory installs a freshly walked entry set and enforces the
+// capacity bound on it.
+func (c *Cache) resetInventory(live []*entry) {
+	c.emu.Lock()
+	defer c.emu.Unlock()
+	c.entries = make(map[string]*entry, len(live))
+	c.clock = c.clock[:0]
+	c.hand = 0
+	c.total = 0
+	for _, e := range live {
+		c.entries[e.fp] = e
+		c.clock = append(c.clock, e)
+		c.total += e.size
+	}
+	c.evictLocked()
+}
+
+// noteEntry records (or refreshes) one entry's accounting after a hit or a
+// successful write: known entries get their reference bit set, new ones
+// join the clock ring with the bit set — one full hand sweep of grace
+// before they are evictable — and the bound is enforced.
+func (c *Cache) noteEntry(fp string, size int64) {
+	c.emu.Lock()
+	defer c.emu.Unlock()
+	if e, ok := c.entries[fp]; ok {
+		c.total += size - e.size
+		e.size = size
+		e.ref = true
+	} else {
+		e := &entry{fp: fp, size: size, ref: true}
+		c.entries[fp] = e
+		c.clock = append(c.clock, e)
+		c.total += size
+	}
+	c.evictLocked()
+}
+
+// dropEntry forgets an entry whose file is gone (deleted as corrupt).
+func (c *Cache) dropEntry(fp string) {
+	c.emu.Lock()
+	defer c.emu.Unlock()
+	if e, ok := c.entries[fp]; ok {
+		c.total -= e.size
+		delete(c.entries, fp)
+		for i, ce := range c.clock {
+			if ce == e {
+				c.clock[i] = nil
+				break
+			}
+		}
+		c.compactLocked()
+	}
+}
+
+// evictLocked runs the second-chance hand until the store fits MaxBytes:
+// an entry whose reference bit is set gets it cleared and survives this
+// lap; an entry the hand finds cleared is evicted (file removed, counted
+// under fleet.cache.evicted). Deterministic: the ring order is discovery
+// order and the hand never consults time. Called with emu held.
+func (c *Cache) evictLocked() {
+	if c.maxBytes <= 0 {
+		return
+	}
+	for c.total > c.maxBytes && len(c.entries) > 0 {
+		if c.hand >= len(c.clock) {
+			c.hand = 0
+		}
+		e := c.clock[c.hand]
+		if e == nil {
+			c.hand++
+			continue
+		}
+		if e.ref {
+			e.ref = false
+			c.hand++
+			continue
+		}
+		c.fsys.Remove(c.path(e.fp))
+		c.evicted.Inc()
+		c.total -= e.size
+		delete(c.entries, e.fp)
+		c.clock[c.hand] = nil
+		c.hand++
+	}
+	c.compactLocked()
+}
+
+// compactLocked squeezes eviction holes out of the ring once they dominate
+// it, preserving order and the hand's position. Called with emu held.
+func (c *Cache) compactLocked() {
+	if len(c.clock) < 16 || len(c.entries)*2 > len(c.clock) {
+		return
+	}
+	packed := c.clock[:0]
+	hand := 0
+	for i, e := range c.clock {
+		if e == nil {
+			continue
+		}
+		if i < c.hand {
+			hand++
+		}
+		packed = append(packed, e)
+	}
+	c.clock = packed
+	c.hand = hand
+}

@@ -7,8 +7,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
-	"path/filepath"
 	"sync"
+
+	"ristretto/internal/safeio"
 )
 
 // CheckpointSchema identifies the journal file format. Bump on incompatible
@@ -30,13 +31,15 @@ type journalLine struct {
 }
 
 // Journal is an append-only, crc-guarded checkpoint file recording completed
-// sweep cells. Appends are flushed and fsynced per record, so a SIGKILL
-// between records loses at most the record being written — and a torn final
-// line fails its crc and is skipped on resume instead of poisoning the run.
+// sweep cells. Appends go through safeio.Appender — flushed and fsynced per
+// record — so a SIGKILL between records loses at most the record being
+// written, and a torn final line fails its crc and is skipped on resume
+// instead of poisoning the run. All file access goes through the journal's
+// safeio.FS, so the disk-fault injector can sit underneath it.
 type Journal struct {
 	mu      sync.Mutex
-	f       *os.File
-	w       *bufio.Writer
+	ap      *safeio.Appender
+	fsys    safeio.FS
 	path    string
 	done    map[string]json.RawMessage
 	resumed bool
@@ -52,31 +55,31 @@ type Journal struct {
 // available through Lookup; corrupt or truncated lines are skipped and
 // counted. A missing file with resume true degrades to a fresh journal.
 func OpenJournal(path, tool, fingerprint string, resume bool) (*Journal, error) {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return nil, err
+	return OpenJournalFS(safeio.OS, path, tool, fingerprint, resume)
+}
+
+// OpenJournalFS is OpenJournal through an explicit filesystem (nil = the
+// real one) — the seam the crash-consistency matrix and the disk-fault
+// injector use.
+func OpenJournalFS(fsys safeio.FS, path, tool, fingerprint string, resume bool) (*Journal, error) {
+	if fsys == nil {
+		fsys = safeio.OS
 	}
-	j := &Journal{path: path, done: map[string]json.RawMessage{}}
+	j := &Journal{fsys: fsys, path: path, done: map[string]json.RawMessage{}}
 	if resume {
 		if err := j.load(tool, fingerprint); err != nil {
 			return nil, err
 		}
 	}
-	flags := os.O_CREATE | os.O_WRONLY
-	if j.resumed {
-		flags |= os.O_APPEND
-	} else {
-		flags |= os.O_TRUNC
-	}
-	f, err := os.OpenFile(path, flags, 0o644)
+	ap, err := safeio.OpenAppenderFS(fsys, path, !j.resumed)
 	if err != nil {
 		return nil, err
 	}
-	j.f = f
-	j.w = bufio.NewWriter(f)
+	j.ap = ap
 	if !j.resumed {
 		hdr := journalLine{Kind: "header", Schema: CheckpointSchema, Tool: tool, Fingerprint: fingerprint}
 		if err := j.append(hdr); err != nil {
-			f.Close()
+			ap.Close()
 			return nil, err
 		}
 	}
@@ -85,7 +88,7 @@ func OpenJournal(path, tool, fingerprint string, resume bool) (*Journal, error) 
 
 // load reads and validates an existing journal for resume.
 func (j *Journal) load(tool, fingerprint string) error {
-	f, err := os.Open(j.path)
+	f, err := j.fsys.Open(j.path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil // nothing to resume; start fresh
 	}
@@ -157,19 +160,15 @@ func decodeLine(line string) (journalLine, bool) {
 	return rec, true
 }
 
-// append encodes, writes, flushes and fsyncs one record.
+// append encodes and durably writes one record (flush + fsync via the
+// Appender).
 func (j *Journal) append(rec journalLine) error {
 	body, err := json.Marshal(rec)
 	if err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(j.w, "%08x %s\n", crc32.ChecksumIEEE(body), body); err != nil {
-		return err
-	}
-	if err := j.w.Flush(); err != nil {
-		return err
-	}
-	return j.f.Sync()
+	line := fmt.Appendf(nil, "%08x %s\n", crc32.ChecksumIEEE(body), body)
+	return j.ap.Append(line)
 }
 
 // Append journals a completed cell under its stable key. The payload is
@@ -226,11 +225,7 @@ func (j *Journal) Close() error {
 		return nil
 	}
 	j.closed = true
-	if err := j.w.Flush(); err != nil {
-		j.f.Close()
-		return err
-	}
-	return j.f.Close()
+	return j.ap.Close()
 }
 
 // resultJSON is the journal payload for a []*Result job: the Result struct

@@ -1,0 +1,280 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"ristretto/internal/safeio"
+)
+
+func TestParseDiskSpec(t *testing.T) {
+	spec, err := ParseDiskSpec("path=cells/*,seed=5,enospc=1,eio=0.2,sync-fail=0.1,torn-write=0.3,bit-rot=0.5,after=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DiskSpec{Seed: 5, Path: "cells/*", ENOSPC: 1, EIO: 0.2, SyncFail: 0.1, TornWrite: 0.3, BitRot: 0.5, After: 10}
+	if spec != want {
+		t.Fatalf("spec = %+v, want %+v", spec, want)
+	}
+	if spec.Zero() {
+		t.Fatal("non-zero spec reports Zero")
+	}
+	zero, err := ParseDiskSpec("")
+	if err != nil || !zero.Zero() {
+		t.Fatalf("empty spec = %+v, %v", zero, err)
+	}
+	for _, bad := range []string{
+		"bogus", "enospc=2", "enospc=-1", "eio=NaN", "after=0", "after=x",
+		"seed=notanumber", "unknown=1", "torn-write", "bit-rot=1.5",
+	} {
+		if _, err := ParseDiskSpec(bad); err == nil {
+			t.Errorf("ParseDiskSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNormalizePath(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"cells/aa/fp123", "cells/aa/fp123"},
+		{"cells/aa/.fp123.tmp98765", "cells/aa/fp123"},
+		{".journal.tmp42", "journal"},
+		{"cells/.hidden", "cells/.hidden"}, // dotfile without .tmp suffix is itself
+		{"a/b/../c/file", "a/c/file"},
+	} {
+		if got := normalizePath(tc.in); got != tc.want {
+			t.Errorf("normalizePath(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestMatchGlobAndScope(t *testing.T) {
+	for _, tc := range []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"cells/*", "cells/aa/fp", true}, // '*' crosses '/'
+		{"cells/*", "journal", false},
+		{"*", "anything/at/all", true},
+		{"f?", "fp", true},
+		{"f?", "fpp", false},
+		{"*.journal", "run/fleet.journal", true},
+	} {
+		d := &diskFS{spec: DiskSpec{Path: tc.pattern}}
+		if got := d.matches(tc.s); got != tc.want {
+			t.Errorf("matches(%q, %q) = %v, want %v", tc.pattern, tc.s, got, tc.want)
+		}
+	}
+	// Component-aligned suffix: a spec written against a relative layout
+	// ("cells/*") must scope an absolute tmpdir path to the same subtree.
+	d := &diskFS{spec: DiskSpec{Path: "cells/*"}}
+	if !d.matches("tmp/run1/cells/aa/fp") {
+		t.Error("suffix scope did not match absolute-style path")
+	}
+	if d.matches("tmp/run1/journal") {
+		t.Error("suffix scope matched a path outside the subtree")
+	}
+}
+
+func TestDiskDecisionsDeterministic(t *testing.T) {
+	spec := DiskSpec{Seed: 9, ENOSPC: 0.5, EIO: 0.5, TornWrite: 0.5, SyncFail: 0.5, BitRot: 0.5}
+	a := &diskFS{spec: spec}
+	b := &diskFS{spec: spec}
+	for _, p := range []string{"cells/aa/x", "cells/bb/y", "journal", "deep/nested/path/z"} {
+		ae, at, as := a.writeFaults(p)
+		be, bt, bs := b.writeFaults(p)
+		if ae != be || at != bt || as != bs {
+			t.Fatalf("write decisions for %q differ between instances", p)
+		}
+		aeio, arot := a.readFaults(p)
+		beio, brot := b.readFaults(p)
+		if aeio != beio || arot != brot {
+			t.Fatalf("read decisions for %q differ between instances", p)
+		}
+	}
+	// And a different seed must change at least one decision across paths.
+	c := &diskFS{spec: DiskSpec{Seed: 10, ENOSPC: 0.5, EIO: 0.5, TornWrite: 0.5, SyncFail: 0.5, BitRot: 0.5}}
+	differs := false
+	for _, p := range []string{"p0", "p1", "p2", "p3", "p4", "p5", "p6", "p7"} {
+		ae, at, as := a.writeFaults(p)
+		ce, ct, cs := c.writeFaults(p)
+		if ae != ce || at != ct || as != cs {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("seed change did not change any decision")
+	}
+}
+
+func TestENOSPCRejectsWriteKeepsOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cells", "aa", "entry")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	old := []byte("old content")
+	if err := os.WriteFile(path, old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fsys := NewDiskFS(DiskSpec{Seed: 1, ENOSPC: 1}, nil)
+	err := safeio.WriteFileFS(fsys, path, []byte("new content"), 0o644)
+	if err == nil {
+		t.Fatal("write through a full disk succeeded")
+	}
+	if !errors.Is(err, syscall.ENOSPC) || !errors.Is(err, ErrInjectedENOSPC) {
+		t.Fatalf("error %v does not wrap ENOSPC", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil || !bytes.Equal(got, old) {
+		t.Fatalf("old file damaged by failed write: %q, %v", got, rerr)
+	}
+}
+
+func TestSyncFailPropagatesNoReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry")
+	old := []byte("old")
+	if err := os.WriteFile(path, old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fsys := NewDiskFS(DiskSpec{Seed: 1, SyncFail: 1}, nil)
+	err := safeio.WriteFileFS(fsys, path, []byte("new"), 0o644)
+	if err == nil {
+		t.Fatal("write with failing fsync succeeded")
+	}
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("error %v does not wrap EIO", err)
+	}
+	if got, _ := os.ReadFile(path); !bytes.Equal(got, old) {
+		t.Fatalf("old file replaced despite failed fsync: %q", got)
+	}
+}
+
+func TestTornWriteAcknowledgesPrefixOnly(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry")
+	fsys := NewDiskFS(DiskSpec{Seed: 1, TornWrite: 1}, nil)
+	payload := []byte("0123456789abcdef")
+	// The torn write is the lying-disk case: safeio reports success.
+	if err := safeio.WriteFileFS(fsys, path, payload, 0o644); err != nil {
+		t.Fatalf("torn write must be acknowledged, got %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) >= len(payload) {
+		t.Fatalf("torn write persisted %d bytes, want a strict prefix of %d", len(got), len(payload))
+	}
+	if !bytes.HasPrefix(payload, got) {
+		t.Fatalf("torn write persisted non-prefix bytes %q", got)
+	}
+}
+
+func TestEIOFailsReads(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry")
+	if err := os.WriteFile(path, []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fsys := NewDiskFS(DiskSpec{Seed: 1, EIO: 1}, nil)
+	if _, err := fsys.ReadFile(path); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("ReadFile error = %v, want wrapped EIO", err)
+	}
+	if _, err := fsys.Open(path); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Open error = %v, want wrapped EIO", err)
+	}
+}
+
+func TestBitRotFlipsOneDeterministicByte(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry")
+	content := bytes.Repeat([]byte("abcdefgh"), 32)
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fsys := NewDiskFS(DiskSpec{Seed: 3, BitRot: 1}, nil)
+	rotted, err := fsys.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range content {
+		if rotted[i] != content[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("bit rot changed %d bytes, want exactly 1", diff)
+	}
+	again, err := fsys.ReadFile(path)
+	if err != nil || !bytes.Equal(again, rotted) {
+		t.Fatalf("bit rot not deterministic across reads")
+	}
+	// Streaming reads through Open must rot the same byte ReadFile does.
+	f, err := fsys.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	streamed := make([]byte, 0, len(content))
+	buf := make([]byte, 7) // odd size: the rot offset must survive chunking
+	for {
+		n, rerr := f.Read(buf)
+		streamed = append(streamed, buf[:n]...)
+		if rerr != nil {
+			break
+		}
+	}
+	if !bytes.Equal(streamed, rotted) {
+		t.Fatal("streamed rot differs from ReadFile rot")
+	}
+}
+
+func TestAfterGateDelaysFaults(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry")
+	if err := os.WriteFile(path, []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fsys := NewDiskFS(DiskSpec{Seed: 1, EIO: 1, After: 2}, nil)
+	for i := 0; i < 2; i++ {
+		if _, err := fsys.ReadFile(path); err != nil {
+			t.Fatalf("read %d failed before the After gate: %v", i, err)
+		}
+	}
+	if _, err := fsys.ReadFile(path); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("read after the gate = %v, want EIO", err)
+	}
+}
+
+func TestPathScopeLimitsFaults(t *testing.T) {
+	dir := t.TempDir()
+	inScope := filepath.Join(dir, "cells", "aa", "entry")
+	outScope := filepath.Join(dir, "journal")
+	for _, p := range []string{inScope, outScope} {
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte("data"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fsys := NewDiskFS(DiskSpec{Seed: 1, EIO: 1, Path: "cells/*"}, nil)
+	if _, err := fsys.ReadFile(inScope); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("in-scope read = %v, want EIO", err)
+	}
+	if _, err := fsys.ReadFile(outScope); err != nil {
+		t.Fatalf("out-of-scope read failed: %v", err)
+	}
+}
+
+func TestZeroSpecReturnsBaseUnchanged(t *testing.T) {
+	if fsys := NewDiskFS(DiskSpec{}, nil); fsys != safeio.OS {
+		t.Fatal("zero spec did not return the passthrough FS")
+	}
+}

@@ -133,7 +133,9 @@ func ParseSpec(s string) (Spec, error) {
 
 func parseProb(s string) (float64, error) {
 	p, err := strconv.ParseFloat(s, 64)
-	if err != nil || p < 0 || p > 1 {
+	// The negated range check also rejects NaN, which compares false to
+	// everything and would otherwise slip through as a "probability".
+	if err != nil || !(p >= 0 && p <= 1) {
 		return 0, fmt.Errorf("probability %q not in [0,1]", s)
 	}
 	return p, nil

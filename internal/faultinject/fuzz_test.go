@@ -2,8 +2,11 @@ package faultinject
 
 import (
 	"net/http"
+	"strings"
 	"testing"
 	"time"
+
+	"ristretto/internal/safeio"
 )
 
 // FuzzParseSpec hardens the -fault flag surface shared by the batch CLIs and
@@ -115,6 +118,65 @@ func FuzzParseNetSpec(f *testing.F) {
 		rt := NewTransport(spec, nil)
 		if spec.Zero() != (rt == http.DefaultTransport) {
 			t.Fatalf("Zero()=%v but transport wrapped=%v for %q", spec.Zero(), rt != http.DefaultTransport, s)
+		}
+	})
+}
+
+// FuzzParseDiskSpec is the same hardening for the -disk-fault flag: no
+// input panics the parser, accepted specs are internally consistent
+// (probabilities in [0,1] and not NaN, after >= 0), and every accepted
+// spec instantiates into an FS whose write/read decision draws are safe to
+// exercise for arbitrary paths — including the fuzzed spec string itself
+// reused as a hostile path.
+func FuzzParseDiskSpec(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"path=cells/*,seed=5,enospc=1,eio=0.2,sync-fail=0.1,torn-write=0.3,bit-rot=0.5,after=10",
+		"enospc=1",
+		"eio=0.5",
+		"sync-fail=1",
+		"torn-write=0.25",
+		"bit-rot=1",
+		"after=0",
+		"after=-1",
+		"path=",
+		"path=*",
+		"path=a/**/b",
+		"seed=-3,bit-rot=NaN",
+		"enospc=2",
+		",",
+		"sabotage=1",
+		"path=a=b",
+		"seed=9223372036854775807,eio=1",
+		" enospc = 0.5 ",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseDiskSpec(s)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		for _, p := range []float64{spec.ENOSPC, spec.EIO, spec.SyncFail, spec.TornWrite, spec.BitRot} {
+			if !(p >= 0 && p <= 1) {
+				t.Fatalf("accepted prob %v out of [0,1] for %q", p, s)
+			}
+		}
+		if spec.After < 0 {
+			t.Fatalf("accepted negative after %d for %q", spec.After, s)
+		}
+		fsys := NewDiskFS(spec, nil)
+		if spec.Zero() != (fsys == safeio.OS) {
+			t.Fatalf("Zero()=%v but FS wrapped=%v for %q", spec.Zero(), fsys != safeio.OS, s)
+		}
+		if d, ok := fsys.(*diskFS); ok {
+			// Decision draws must be pure and panic-free for hostile paths —
+			// including glob patterns that could backtrack pathologically.
+			for _, p := range []string{"", s, "cells/aa/fp", "/", strings.Repeat("a/", 64)} {
+				d.writeFaults(normalizePath(p))
+				d.readFaults(normalizePath(p))
+				d.matches(p)
+			}
 		}
 	})
 }

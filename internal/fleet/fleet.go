@@ -77,7 +77,19 @@ type Config struct {
 	Nets  []string
 	// CacheDir, when non-empty, opens the coordinator-side cell cache
 	// there: cached cells skip dispatch, computed cells are written back.
+	// The cache is scrubbed on open (corrupt entries deleted) and degrades
+	// to read-only after persistent write failures — a full or lying disk
+	// slows the sweep, it never fails it.
 	CacheDir string
+	// CacheMaxBytes bounds the cell cache's on-disk footprint; entries past
+	// the bound are evicted by a deterministic second-chance sweep
+	// (0 = unbounded).
+	CacheMaxBytes int64
+	// DiskFault, when non-zero, threads the seed-deterministic disk fault
+	// FS (ENOSPC, EIO, failed fsync, torn writes, bit rot — see
+	// internal/faultinject) under the coordinator's cell cache and journal;
+	// the disk-chaos gates prove the storage robustness story with it.
+	DiskFault faultinject.DiskSpec
 	// JournalPath, when non-empty, journals assignment and completion
 	// state there (crc-guarded, fsynced per record) for crash-resume.
 	JournalPath string
@@ -153,6 +165,12 @@ type Report struct {
 	AuditMismatches  int64         `json:"audit_mismatches"`
 	HedgesLaunched   int64         `json:"hedges_launched"`
 	HedgeWins        int64         `json:"hedge_wins"`
+	CacheWriteErrors int64         `json:"cache_write_errors"`
+	CacheReadErrors  int64         `json:"cache_read_errors"`
+	CacheEvicted     int64         `json:"cache_evicted"`
+	CacheScrubbed    int64         `json:"cache_scrubbed"`
+	CacheCorrupt     int64         `json:"cache_corrupt"`
+	CacheDegraded    bool          `json:"cache_degraded,omitempty"`
 	Elapsed          time.Duration `json:"elapsed_ns"`
 	Outcomes         []CellOutcome `json:"outcomes"` // paper order
 }
@@ -268,8 +286,22 @@ func Run(ctx context.Context, cfg Config) ([]*experiments.Result, Report, error)
 	} else {
 		c.client = newClient(&cfg)
 	}
+	// The disk-fault FS sits under every coordinator-side storage layer —
+	// cache and journal — exactly like the net-fault transport sits under
+	// every request. Cache counter deltas anchor here, before the open-time
+	// scrub runs.
+	cacheDeltas := map[string]counterDelta{
+		"write_errors": delta(r.Counter("fleet.cache.write_errors")),
+		"read_errors":  delta(r.Counter("fleet.cache.read_errors")),
+		"evicted":      delta(r.Counter("fleet.cache.evicted")),
+		"scrubbed":     delta(r.Counter("fleet.cache.scrubbed")),
+		"corrupt":      delta(r.Counter("fleet.cache.corrupt")),
+	}
+	fsys := faultinject.NewDiskFS(cfg.DiskFault, nil)
 	if cfg.CacheDir != "" {
-		cache, err := cellcache.Open(cfg.CacheDir, r)
+		cache, err := cellcache.OpenWith(cfg.CacheDir, r, cellcache.Options{
+			FS: fsys, MaxBytes: cfg.CacheMaxBytes, ScrubOnOpen: true,
+		})
 		if err != nil {
 			return nil, Report{}, fmt.Errorf("fleet: opening cell cache: %w", err)
 		}
@@ -282,7 +314,7 @@ func Run(ctx context.Context, cfg Config) ([]*experiments.Result, Report, error)
 	rep := Report{Cells: len(keys), Workers: len(cfg.Workers)}
 
 	if cfg.JournalPath != "" {
-		j, err := openJournal(cfg.JournalPath, bench.Fingerprint(), cfg.Resume, r)
+		j, err := openJournal(fsys, cfg.JournalPath, bench.Fingerprint(), cfg.Resume, r)
 		if err != nil {
 			return nil, Report{}, err
 		}
@@ -331,7 +363,8 @@ func Run(ctx context.Context, cfg Config) ([]*experiments.Result, Report, error)
 
 	// Phase 2: work-stealing dispatch of the rest. Report counts are
 	// deltas over the run, because the registry's counters are cumulative
-	// across runs sharing it.
+	// across runs sharing it. The cache scrub/write-error counts start at
+	// open (before phase 1), so their deltas are anchored there instead.
 	c.queue = newStealQueue(len(cfg.Workers), todo, r)
 	deltas := map[string]counterDelta{
 		"steals":     delta(c.queue.steals),
@@ -361,6 +394,14 @@ func Run(ctx context.Context, cfg Config) ([]*experiments.Result, Report, error)
 	rep.AuditMismatches = deltas["auditmiss"].since()
 	rep.HedgesLaunched = deltas["hedges"].since()
 	rep.HedgeWins = deltas["hedgewins"].since()
+	rep.CacheWriteErrors = cacheDeltas["write_errors"].since()
+	rep.CacheReadErrors = cacheDeltas["read_errors"].since()
+	rep.CacheEvicted = cacheDeltas["evicted"].since()
+	rep.CacheScrubbed = cacheDeltas["scrubbed"].since()
+	rep.CacheCorrupt = cacheDeltas["corrupt"].since()
+	if c.cache != nil {
+		rep.CacheDegraded = c.cache.Degraded()
+	}
 	rep.RetiredWorkers = len(cfg.Workers) - c.queue.alive()
 	rep.Elapsed = time.Since(start)
 

@@ -78,7 +78,10 @@ type journal struct {
 // error says to rerun without -resume — and every digest-verified
 // completion becomes available through lookup; torn, corrupt or
 // digest-mismatched records are skipped and counted, never served.
-func openJournal(path, benchFP string, resume bool, r *telemetry.Registry) (*journal, error) {
+func openJournal(fsys safeio.FS, path, benchFP string, resume bool, r *telemetry.Registry) (*journal, error) {
+	if fsys == nil {
+		fsys = safeio.OS
+	}
 	j := &journal{
 		done:     map[string]journalCell{},
 		records:  r.Counter("fleet.journal.records"),
@@ -86,11 +89,11 @@ func openJournal(path, benchFP string, resume bool, r *telemetry.Registry) (*jou
 		corruptC: r.Counter("fleet.journal.corrupt"),
 	}
 	if resume {
-		if err := j.load(path, benchFP); err != nil {
+		if err := j.load(fsys, path, benchFP); err != nil {
 			return nil, err
 		}
 	}
-	ap, err := safeio.OpenAppender(path, !j.resumed)
+	ap, err := safeio.OpenAppenderFS(fsys, path, !j.resumed)
 	if err != nil {
 		return nil, err
 	}
@@ -107,8 +110,8 @@ func openJournal(path, benchFP string, resume bool, r *telemetry.Registry) (*jou
 
 // load reads and validates an existing journal for resume. A missing file
 // degrades to a fresh journal.
-func (j *journal) load(path, benchFP string) error {
-	f, err := os.Open(path)
+func (j *journal) load(fsys safeio.FS, path, benchFP string) error {
+	f, err := fsys.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}

@@ -1,0 +1,78 @@
+package fleet
+
+// The fleet journal's crash-consistency matrix: every byte truncation
+// point of a journal with three verified completions is replayed through a
+// resume, which must serve each cell either not at all (re-dispatch) or
+// byte-identical to what was journaled — never a hybrid, and never losing
+// a record older than one that survived (appends are fsynced in order).
+// The cell cache and checkpoint journal matrices live in
+// internal/crashmatrix; this one is here because openJournal is
+// unexported.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ristretto/internal/crashmatrix"
+)
+
+func TestFleetJournalTruncationMatrix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.journal")
+	j, _ := newJournal(t, path, false)
+	cells := []struct {
+		name, fp string
+		payload  json.RawMessage
+	}{
+		{"cell-a", "aa00000000000000000000000000000000000000000000000000000000000000", json.RawMessage(`[{"id":"A","rows":[["1"]]}]`)},
+		{"cell-b", "bb00000000000000000000000000000000000000000000000000000000000000", json.RawMessage(`[{"id":"B","rows":[["2"]]}]`)},
+		{"cell-c", "cc00000000000000000000000000000000000000000000000000000000000000", json.RawMessage(`[{"id":"C","rows":[["3"]]}]`)},
+	}
+	for _, c := range cells {
+		if err := j.complete(c.name, c.fp, c.payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	replayPath := filepath.Join(dir, "replay.journal")
+	err = crashmatrix.Replay(data, func(n int, prefix []byte) error {
+		if err := os.WriteFile(replayPath, prefix, 0o644); err != nil {
+			return err
+		}
+		j2, _ := newJournal(t, replayPath, true)
+		seenPresent, missing := false, 0
+		for i := len(cells) - 1; i >= 0; i-- { // newest first: absences must be a suffix
+			c := cells[i]
+			fp, payload, ok := j2.lookup(c.name)
+			if !ok {
+				if seenPresent {
+					return fmt.Errorf("%s missing while a newer completion survived", c.name)
+				}
+				missing++
+				continue
+			}
+			seenPresent = true
+			if fp != c.fp || !bytes.Equal(payload, c.payload) {
+				return fmt.Errorf("%s resumed as a hybrid: fp=%s payload=%s", c.name, fp, payload)
+			}
+		}
+		if n == len(data) && missing > 0 {
+			return fmt.Errorf("intact journal lost %d completions", missing)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

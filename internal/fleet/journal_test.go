@@ -19,7 +19,7 @@ func newJournal(t *testing.T, path string, resume bool) (*journal, *telemetry.Re
 	t.Helper()
 	r := telemetry.NewRegistry()
 	r.SetEnabled(true)
-	j, err := openJournal(path, testBenchFP, resume, r)
+	j, err := openJournal(nil, path, testBenchFP, resume, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,12 +85,12 @@ func TestJournalFreshRunTruncates(t *testing.T) {
 func TestJournalFingerprintMismatchRejected(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "fleet.journal")
 	r := telemetry.NewRegistry()
-	j, err := openJournal(path, "seed=2 scale=64 nets=all", false, r)
+	j, err := openJournal(nil, path, "seed=2 scale=64 nets=all", false, r)
 	if err != nil {
 		t.Fatal(err)
 	}
 	j.close()
-	if _, err := openJournal(path, testBenchFP, true, r); err == nil || !strings.Contains(err.Error(), "-resume") {
+	if _, err := openJournal(nil, path, testBenchFP, true, r); err == nil || !strings.Contains(err.Error(), "-resume") {
 		t.Fatalf("workload mismatch resumed: %v", err)
 	}
 }

@@ -19,7 +19,7 @@ import (
 // never interleave.
 type Appender struct {
 	mu     sync.Mutex
-	f      *os.File
+	f      File
 	w      *bufio.Writer
 	path   string
 	closed bool
@@ -30,14 +30,22 @@ type Appender struct {
 // truncate false existing bytes are preserved — the resume case. The
 // parent directory is created as needed.
 func OpenAppender(path string, truncate bool) (*Appender, error) {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	return OpenAppenderFS(OS, path, truncate)
+}
+
+// OpenAppenderFS is OpenAppender through an explicit filesystem (nil = OS).
+func OpenAppenderFS(fsys FS, path string, truncate bool) (*Appender, error) {
+	if fsys == nil {
+		fsys = OS
+	}
+	if err := fsys.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, err
 	}
 	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
 	if truncate {
 		flags |= os.O_TRUNC
 	}
-	f, err := os.OpenFile(path, flags, 0o644)
+	f, err := fsys.OpenFile(path, flags, 0o644)
 	if err != nil {
 		return nil, err
 	}

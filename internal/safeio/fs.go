@@ -1,0 +1,75 @@
+package safeio
+
+// The filesystem seam: every byte safeio (and the storage layers built on
+// it — the cell cache, the fleet journal, the experiment checkpoint) moves
+// to or from disk goes through an FS, so a fault-injecting implementation
+// (internal/faultinject's disk fault FS) can make the disk lie — ENOSPC,
+// EIO, failed fsync, torn writes, bit rot — under a deterministic schedule
+// while the default OS passthrough costs one interface dispatch.
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is the per-handle surface an FS hands out: exactly the operations
+// the crash-safe writers and the journal readers need. *os.File satisfies
+// it directly.
+type File interface {
+	io.Reader
+	io.Writer
+	// Sync flushes the handle's written data to stable storage (fsync).
+	Sync() error
+	// Close releases the handle.
+	Close() error
+	// Chmod sets the file's permission bits.
+	Chmod(mode os.FileMode) error
+	// Name returns the path the handle was opened with.
+	Name() string
+}
+
+// FS is the injectable filesystem: the operations the atomic writer, the
+// fsynced appender and the cache/journal readers perform, with the OS
+// passthrough as the default. Implementations must be safe for concurrent
+// use.
+type FS interface {
+	// CreateTemp creates a new temporary file in dir (see os.CreateTemp).
+	CreateTemp(dir, pattern string) (File, error)
+	// OpenFile opens path with the given flags (see os.OpenFile).
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	// Open opens path read-only.
+	Open(path string) (File, error)
+	// ReadFile reads the whole file at path.
+	ReadFile(path string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath (same filesystem).
+	Rename(oldpath, newpath string) error
+	// Remove deletes the file at path.
+	Remove(path string) error
+	// MkdirAll creates path and any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// Stat describes the file at path.
+	Stat(path string) (os.FileInfo, error)
+	// WalkDir walks the tree rooted at root (see filepath.WalkDir).
+	WalkDir(root string, fn fs.WalkDirFunc) error
+}
+
+// OS is the passthrough FS: every operation goes straight to the real
+// filesystem. It is the default wherever an FS is not supplied.
+var OS FS = osFS{}
+
+// osFS implements FS over the os and filepath packages.
+type osFS struct{}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+func (osFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(path, flag, perm)
+}
+func (osFS) Open(path string) (File, error)               { return os.Open(path) }
+func (osFS) ReadFile(path string) ([]byte, error)         { return os.ReadFile(path) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error                     { return os.Remove(path) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Stat(path string) (os.FileInfo, error)        { return os.Stat(path) }
+func (osFS) WalkDir(root string, fn fs.WalkDirFunc) error { return filepath.WalkDir(root, fn) }

@@ -4,6 +4,12 @@
 // exactly this) leaves either the old file or the new one — never a
 // truncated hybrid. Manifest, checkpoint and tensor (.rstt) writers all go
 // through here.
+//
+// Every disk operation goes through the FS seam (see fs.go): the default
+// is the OS passthrough, and internal/faultinject supplies a
+// fault-injecting FS that makes the disk lie — ENOSPC, EIO, failed fsync,
+// torn writes, bit rot — so the storage layers built on safeio can be
+// adversarially tested without a special kernel.
 package safeio
 
 import (
@@ -16,7 +22,12 @@ import (
 // WriteFile atomically replaces path with data. The parent directory must
 // exist (callers that create paths on demand MkdirAll first).
 func WriteFile(path string, data []byte, perm os.FileMode) error {
-	return WriteTo(path, perm, func(w io.Writer) error {
+	return WriteFileFS(OS, path, data, perm)
+}
+
+// WriteFileFS is WriteFile through an explicit filesystem (nil = OS).
+func WriteFileFS(fsys FS, path string, data []byte, perm os.FileMode) error {
+	return WriteToFS(fsys, path, perm, func(w io.Writer) error {
 		_, err := w.Write(data)
 		return err
 	})
@@ -27,17 +38,25 @@ func WriteFile(path string, data []byte, perm os.FileMode) error {
 // otherwise the temporary file is removed and the existing target is left
 // untouched.
 func WriteTo(path string, perm os.FileMode, write func(w io.Writer) error) error {
+	return WriteToFS(OS, path, perm, write)
+}
+
+// WriteToFS is WriteTo through an explicit filesystem (nil = OS).
+func WriteToFS(fsys FS, path string, perm os.FileMode, write func(w io.Writer) error) error {
+	if fsys == nil {
+		fsys = OS
+	}
 	dir := filepath.Dir(path)
 	// The temp file must live in the destination directory: rename(2) is
 	// only atomic within one filesystem.
-	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	f, err := fsys.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
 	cleanup := func(err error) error {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	bw := bufio.NewWriter(f)
@@ -54,22 +73,22 @@ func WriteTo(path string, perm os.FileMode, write func(w io.Writer) error) error
 		return cleanup(err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	syncDir(dir)
+	syncDir(fsys, dir)
 	return nil
 }
 
 // syncDir fsyncs the directory so the rename itself is durable. Best
 // effort: some filesystems refuse directory fsync, and the rename already
 // guarantees atomicity.
-func syncDir(dir string) {
-	d, err := os.Open(dir)
+func syncDir(fsys FS, dir string) {
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return
 	}

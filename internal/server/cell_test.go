@@ -98,8 +98,8 @@ func TestCellEndpointCachesByFingerprint(t *testing.T) {
 	if !bytes.Equal(responses[0].Payload, responses[1].Payload) {
 		t.Error("cached payload differs from computed payload")
 	}
-	if cache.Len() != 1 {
-		t.Errorf("cache holds %d entries, want 1", cache.Len())
+	if n, err := cache.Len(); err != nil || n != 1 {
+		t.Errorf("cache holds %d entries (err %v), want 1", n, err)
 	}
 }
 
